@@ -1,0 +1,131 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see EXPERIMENTS.md for paper-vs-measured numbers), then
+   runs Bechamel micro-benchmarks of the core algorithms.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig7  # one figure
+     dune exec bench/main.exe -- --quick      # half-size inputs
+     dune exec bench/main.exe -- --no-micro   # skip micro-benchmarks *)
+
+let selected : string list ref = ref []
+let quick = ref false
+let micro = ref true
+
+let usage = "main.exe [--only FIG]... [--quick] [--no-micro] [--list]"
+
+let list_figures () =
+  List.iter
+    (fun (f : Harness.Figures.fig) ->
+      Printf.printf "%-10s %s\n" f.id f.title)
+    Harness.Figures.all;
+  exit 0
+
+let args =
+  [
+    ( "--only",
+      Arg.String (fun s -> selected := s :: !selected),
+      "FIG run only this figure (repeatable); see --list" );
+    ("--quick", Arg.Set quick, " run with half-size inputs");
+    ("--no-micro", Arg.Unit (fun () -> micro := false), " skip micro-benchmarks");
+    ("--micro-only", Arg.Unit (fun () -> selected := [ "none" ]), " only micro-benchmarks");
+    ("--list", Arg.Unit list_figures, " list figure ids and exit");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core algorithms.                   *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cfg = Machine.Config.default in
+  let regions = Locmap.Region.create cfg in
+  let tables = Locmap.Assign.create cfg regions in
+  let summary =
+    let s = Locmap.Summary.create ~num_mcs:4 ~num_regions:9 in
+    Locmap.Summary.add_llc_miss s ~mc:0 ~bank_region:(-1);
+    Locmap.Summary.add_llc_miss s ~mc:0 ~bank_region:(-1);
+    Locmap.Summary.add_llc_miss s ~mc:1 ~bank_region:(-1);
+    Locmap.Summary.add_llc_hit s ~region:4;
+    s
+  in
+  let v1 = [| 0.5; 0.25; 0.25; 0.0 |] and v2 = [| 0.25; 0.25; 0.25; 0.25 |] in
+  let topo = Machine.Config.topology cfg in
+  let net = Noc.Network.create ~router_overhead:3 topo in
+  let cachet =
+    Cache.Sa_cache.create ~size:(16 * 1024) ~assoc:8 ~line_size:32 ()
+  in
+  let counter = ref 0 in
+  let prepared = Harness.Experiment.prepare_name ~scale:0.25 "moldyn" in
+  let small_cfg = cfg in
+  [
+    Test.make ~name:"eta (4-entry affinity vectors)"
+      (Staged.stage (fun () -> Locmap.Affinity.eta v1 v2));
+    Test.make ~name:"best_region (9 regions)"
+      (Staged.stage (fun () -> Locmap.Assign.best_region tables summary));
+    Test.make ~name:"network send (10 hops)"
+      (Staged.stage (fun () ->
+           ignore (Noc.Network.send net ~now:0 ~src:0 ~dst:35 ~flits:5)));
+    Test.make ~name:"L1 cache access"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Cache.Sa_cache.access cachet ~addr:(!counter * 8 mod 65536)
+                ~write:false)));
+    Test.make ~name:"full mapping pipeline (moldyn, 0.25x)"
+      (Staged.stage (fun () ->
+           ignore
+             (Locmap.Mapper.map ~measure_error:false small_cfg
+                prepared.Harness.Experiment.trace)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Micro-benchmarks (Bechamel)";
+  print_endline "---------------------------";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let estimates = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> Printf.printf "%-42s %12.1f ns/run\n" name t
+          | _ -> Printf.printf "%-42s (no estimate)\n" name)
+        estimates)
+    (micro_tests ());
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let scale = if !quick then 0.5 else 1.0 in
+  let figs =
+    match !selected with
+    | [] -> Harness.Figures.all
+    | [ "none" ] -> []
+    | ids ->
+        List.rev_map
+          (fun id ->
+            match Harness.Figures.find id with
+            | Some f -> f
+            | None ->
+                Printf.eprintf "unknown figure %S (try --list)\n" id;
+                exit 2)
+          ids
+  in
+  List.iter
+    (fun (f : Harness.Figures.fig) ->
+      let t0 = Unix.gettimeofday () in
+      f.run ~scale;
+      Printf.printf "[%s ran in %.1fs]\n%!" f.id (Unix.gettimeofday () -. t0))
+    figs;
+  if !micro then run_micro ()

@@ -1,0 +1,237 @@
+(* locmap — command-line front end to the location-aware mapping
+   library and its evaluation harness.
+
+     locmap list                      # the 21 benchmarks
+     locmap config                    # the simulated machine (Table 4)
+     locmap info moldyn               # program structure
+     locmap map moldyn --llc shared   # mapping diagnostics
+     locmap simulate swim --strategy la --llc shared
+     locmap experiments --only fig7   # regenerate paper figures *)
+
+open Cmdliner
+
+let llc_conv =
+  Arg.conv
+    ( (fun s ->
+        match Cache.Llc.of_string s with
+        | Ok o -> Ok o
+        | Error e -> Error (`Msg e)),
+      Cache.Llc.pp )
+
+let strategy_conv =
+  let parse = function
+    | "default" -> Ok Harness.Experiment.Default
+    | "la" | "location-aware" -> Ok Harness.Experiment.Location_aware
+    | "oracle" -> Ok Harness.Experiment.La_oracle
+    | "ideal" -> Ok Harness.Experiment.Ideal_network
+    | "hw" -> Ok Harness.Experiment.Hw_placement
+    | "do" -> Ok Harness.Experiment.Data_opt
+    | "la+do" -> Ok Harness.Experiment.La_plus_do
+    | "coopt" | "co-optimized" -> Ok Harness.Experiment.Co_optimized
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf s -> Format.pp_print_string ppf (Harness.Experiment.strategy_name s)
+    )
+
+let llc_arg =
+  Arg.(
+    value
+    & opt llc_conv Cache.Llc.Private
+    & info [ "llc" ] ~docv:"ORG" ~doc:"LLC organisation: private or shared.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Benchmark input-size scale factor.")
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,locmap list)).")
+
+let cfg_of llc = { Machine.Config.default with llc_org = llc }
+
+let find_bench name =
+  match Workloads.Registry.find_opt name with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; try `locmap list'" name)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-11s %-10s %s\n" "name" "kind" "description";
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        Printf.printf "%-11s %-10s %s\n" e.name
+          (match e.kind with
+          | Ir.Program.Regular -> "regular"
+          | Ir.Program.Irregular -> "irregular")
+          e.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 21 benchmarks.")
+    Term.(const run $ const ())
+
+let config_cmd =
+  let run llc =
+    Format.printf "%a@." Machine.Config.pp (cfg_of llc)
+  in
+  Cmd.v (Cmd.info "config" ~doc:"Print the simulated machine (Table 4).")
+    Term.(const run $ llc_arg)
+
+let info_cmd =
+  let run name scale =
+    match find_bench name with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok entry ->
+        let p = Harness.Experiment.prepare ~scale entry in
+        let prog = p.prog in
+        Format.printf "%a@." Ir.Program.pp prog;
+        Printf.printf "footprint: %d KB\n"
+          (Ir.Layout.footprint (Ir.Trace.layout p.trace) / 1024);
+        Printf.printf "accesses per timing step: %d\n"
+          (Ir.Program.total_accesses_per_step prog);
+        let sets =
+          Ir.Iter_set.partition prog
+            ~fraction:Machine.Config.default.iter_set_fraction
+        in
+        Printf.printf "iteration sets (0.25%%): %d\n" (Array.length sets);
+        List.iteri
+          (fun k (n : Ir.Loop_nest.t) ->
+            Printf.printf "  nest %d %-18s %7d iterations x %3d accesses\n" k
+              n.name (Ir.Loop_nest.iterations n)
+              (Ir.Loop_nest.accesses_per_par_iter n))
+          prog.Ir.Program.nests
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a benchmark program.")
+    Term.(const run $ bench_arg $ scale_arg)
+
+let map_cmd =
+  let run name llc scale =
+    match find_bench name with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok entry ->
+        let cfg = cfg_of llc in
+        let p = Harness.Experiment.prepare ~scale entry in
+        let info = Locmap.Mapper.map cfg p.trace in
+        Printf.printf "estimation: %s\n"
+          (match info.estimation with
+          | Locmap.Mapper.Cme_estimate -> "compile-time CME"
+          | Locmap.Mapper.Inspector -> "runtime inspector"
+          | Locmap.Mapper.Oracle -> "oracle");
+        Printf.printf "iteration sets: %d\n" (Array.length info.sets);
+        Printf.printf "MAI estimation error: %.3f\n" info.mai_error;
+        if llc = Cache.Llc.Shared then begin
+          Printf.printf "CAI estimation error: %.3f\n" info.cai_error;
+          Printf.printf "mean alpha (LLC hit fraction): %.3f\n" info.alpha_mean
+        end;
+        Printf.printf "sets moved by load balancing: %.1f%%\n"
+          (100. *. info.moved_fraction);
+        Printf.printf "modelled runtime overhead: %d cycles\n"
+          info.overhead_cycles;
+        let regions = Locmap.Region.create cfg in
+        let counts =
+          Locmap.Balance.counts
+            ~num_regions:(Locmap.Region.count regions)
+            info.region_of_set
+        in
+        Printf.printf "sets per region:";
+        Array.iteri (fun r c -> Printf.printf " R%d:%d" (r + 1) c) counts;
+        print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Run the location-aware mapper and show diagnostics.")
+    Term.(const run $ bench_arg $ llc_arg $ scale_arg)
+
+let simulate_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Harness.Experiment.Location_aware
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Mapping strategy: default, la, oracle, ideal, hw, do, la+do \
+             or coopt.")
+  in
+  let run name llc scale strategy =
+    match find_bench name with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok entry ->
+        let cfg = cfg_of llc in
+        let p = Harness.Experiment.prepare ~scale entry in
+        let base = Harness.Experiment.run cfg p Harness.Experiment.Default in
+        let o = Harness.Experiment.run cfg p strategy in
+        Format.printf "%s on %s LLC (%s):@.%a@.@." name
+          (Cache.Llc.to_string llc)
+          (Harness.Experiment.strategy_name strategy)
+          Machine.Stats.pp o.stats;
+        if strategy <> Harness.Experiment.Default then begin
+          let net, time = Harness.Experiment.reductions ~base o in
+          Printf.printf "vs default: network latency %+.1f%%, execution time %+.1f%%\n"
+            net time
+        end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a benchmark under a mapping strategy.")
+    Term.(const run $ bench_arg $ llc_arg $ scale_arg $ strategy_arg)
+
+let experiments_cmd =
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"FIG"
+          ~doc:"Run only this figure (repeatable); see $(b,--list).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List figure ids and exit.")
+  in
+  let run only list_only scale =
+    if list_only then
+      List.iter
+        (fun (f : Harness.Figures.fig) -> Printf.printf "%-10s %s\n" f.id f.title)
+        Harness.Figures.all
+    else begin
+      let figs =
+        match only with
+        | [] -> Harness.Figures.all
+        | ids ->
+            List.map
+              (fun id ->
+                match Harness.Figures.find id with
+                | Some f -> f
+                | None ->
+                    Printf.eprintf "unknown figure %S\n" id;
+                    exit 2)
+              ids
+      in
+      List.iter (fun (f : Harness.Figures.fig) -> f.run ~scale) figs
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (see EXPERIMENTS.md).")
+    Term.(const run $ only_arg $ list_arg $ scale_arg)
+
+let () =
+  let doc = "location-aware computation-to-core mapping (PLDI'18 reproduction)" in
+  let default =
+    Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "locmap" ~version:"1.0.0" ~doc)
+          [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd; experiments_cmd ]))

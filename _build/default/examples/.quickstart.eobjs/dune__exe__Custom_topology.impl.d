@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Ir List Locmap Machine Noc Printf Workloads

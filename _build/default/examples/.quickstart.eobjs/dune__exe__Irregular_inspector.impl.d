@@ -1,0 +1,1 @@
+examples/irregular_inspector.ml: Array Format Ir Locmap Machine Mem Workloads

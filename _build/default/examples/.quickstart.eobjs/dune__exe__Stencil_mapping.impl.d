@@ -1,0 +1,1 @@
+examples/stencil_mapping.ml: Array Format Ir Locmap Machine Mem Workloads

@@ -1,0 +1,1 @@
+lib/baselines/hw_mapping.ml: Array Float Fun Int Ir Locmap Machine Mem Noc Option

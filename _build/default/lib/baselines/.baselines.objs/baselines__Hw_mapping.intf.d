@@ -1,0 +1,1 @@
+lib/baselines/hw_mapping.mli: Ir Machine

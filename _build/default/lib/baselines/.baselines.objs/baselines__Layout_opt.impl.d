@@ -1,0 +1,1 @@
+lib/baselines/layout_opt.ml: Array Ir List Machine Mem Noc

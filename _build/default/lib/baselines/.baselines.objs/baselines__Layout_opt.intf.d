@@ -1,0 +1,1 @@
+lib/baselines/layout_opt.mli: Ir Machine Mem

@@ -1,0 +1,21 @@
+(** Hardware/OS-based application-to-core placement, after Das et
+    al. [16] (the paper's Figure 14 comparison).
+
+    The scheme ranks execution contexts by memory intensity and places
+    the most intensive ones on the cores closest to *any* memory
+    controller. Following the paper's adaptation, each thread of the
+    multi-threaded application (the default round-robin mapping's
+    per-core share of iteration sets) is treated as if it were a
+    separate application. The scheme is distance-to-memory aware but
+    not *location* aware: it ignores which specific MC a thread's data
+    lives on, and ignores the L2-bank-to-MC leg entirely — exactly the
+    two deficiencies the paper demonstrates. *)
+
+val schedule :
+  ?fraction:float -> Machine.Config.t -> Ir.Trace.t -> Machine.Schedule.t
+(** Iteration sets keep their default thread grouping; threads are
+    permuted onto cores by the intensity/proximity ranking. *)
+
+val core_ranking : Machine.Config.t -> int array
+(** Cores sorted by ascending distance to their nearest MC (the
+    placement order the scheme fills). Exposed for tests. *)

@@ -1,0 +1,80 @@
+(* Per-(page, core) access weights for one array, observed by walking
+   the schedule's traffic. *)
+let page_weights (cfg : Machine.Config.t) trace ~(schedule : Machine.Schedule.t)
+    ~base_page ~pages =
+  let num_cores = Machine.Config.num_cores cfg in
+  let w = Array.make_matrix pages num_cores 0 in
+  Array.iteri
+    (fun k (s : Ir.Iter_set.t) ->
+      let core = schedule.core_of.(k) in
+      Ir.Trace.iter_range ~step:0 trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
+        (fun ~addr ~write:_ ->
+          let page = addr / cfg.Machine.Config.page_size in
+          let p = page - base_page in
+          if p >= 0 && p < pages then w.(p).(core) <- w.(p).(core) + 1))
+    schedule.sets;
+  w
+
+let rotation_cost (cfg : Machine.Config.t) ~w ~base_page ~pages rot =
+  let topo = Machine.Config.topology cfg in
+  let num_mcs = Noc.Topology.num_mcs topo in
+  let num_cores = Machine.Config.num_cores cfg in
+  (* Distance from each core to each MC, precomputed. *)
+  let dist =
+    Array.init num_cores (fun core ->
+        let c = Noc.Topology.coord_of_node topo core in
+        Array.init num_mcs (Noc.Topology.distance_to_mc topo c))
+  in
+  let total = ref 0 in
+  for p = 0 to pages - 1 do
+    let ppage = base_page + ((p + rot) mod pages) in
+    let mc = ppage mod num_mcs in
+    for core = 0 to num_cores - 1 do
+      if w.(p).(core) > 0 then
+        total := !total + (w.(p).(core) * dist.(core).(mc))
+    done
+  done;
+  !total
+
+let best_rotation_of (cfg : Machine.Config.t) trace ~schedule ~base_page ~pages
+    =
+  let num_mcs = Machine.Config.num_mcs cfg in
+  let w = page_weights cfg trace ~schedule ~base_page ~pages in
+  let best = ref 0 and best_cost = ref max_int in
+  for rot = 0 to min (num_mcs - 1) (pages - 1) do
+    let cost = rotation_cost cfg ~w ~base_page ~pages rot in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := rot
+    end
+  done;
+  !best
+
+let array_pages (cfg : Machine.Config.t) trace name =
+  let layout = Ir.Trace.layout trace in
+  let base = Ir.Layout.base layout name in
+  let extent = Ir.Layout.extent_bytes layout name in
+  let ps = cfg.Machine.Config.page_size in
+  (base / ps, extent / ps)
+
+let best_rotation cfg trace ~schedule ~array_name =
+  let base_page, pages = array_pages cfg trace array_name in
+  if pages = 0 then 0
+  else best_rotation_of cfg trace ~schedule ~base_page ~pages
+
+let optimize (cfg : Machine.Config.t) trace ~schedule pt =
+  let layout = Ir.Trace.layout trace in
+  List.iter
+    (fun name ->
+      let base_page, pages = array_pages cfg trace name in
+      if pages > 1 then begin
+        let rot =
+          best_rotation_of cfg trace ~schedule ~base_page ~pages
+        in
+        if rot <> 0 then
+          for p = 0 to pages - 1 do
+            Mem.Page_table.remap_page pt ~vpage:(base_page + p)
+              ~ppage:(base_page + ((p + rot) mod pages))
+          done
+      end)
+    (Ir.Layout.arrays layout)

@@ -1,0 +1,31 @@
+(** Data-layout optimisation, after Ding et al. [22] (the paper's
+    Figure 13 comparison, "DO").
+
+    The scheme keeps the computation mapping fixed and instead picks,
+    for each array, a single program-wide layout: a cyclic page
+    *rotation* that shifts which MC serves each of the array's pages.
+    The rotation minimising the total core-to-MC distance of the
+    array's accesses (observed under the given schedule) is applied
+    through the page table. One layout per array is the scheme's
+    inherent limitation — different nests may want different rotations
+    — which is why the paper's computation mapping composes with and
+    usually beats it. *)
+
+val optimize :
+  Machine.Config.t ->
+  Ir.Trace.t ->
+  schedule:Machine.Schedule.t ->
+  Mem.Page_table.t ->
+  unit
+(** Installs the chosen per-array page remappings into the page table.
+    Call before creating the {!Machine.Addr_map} used for simulation or
+    mapping. *)
+
+val best_rotation :
+  Machine.Config.t ->
+  Ir.Trace.t ->
+  schedule:Machine.Schedule.t ->
+  array_name:string ->
+  int
+(** The rotation (in pages, [0 .. num_mcs-1]) [optimize] would pick for
+    one array. Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/cache/llc.ml: Format Printf String

@@ -1,0 +1,20 @@
+type org =
+  | Private
+  | Shared
+
+let equal a b =
+  match (a, b) with
+  | Private, Private | Shared, Shared -> true
+  | Private, Shared | Shared, Private -> false
+
+let to_string = function
+  | Private -> "private"
+  | Shared -> "shared"
+
+let pp ppf o = Format.pp_print_string ppf (to_string o)
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "private" -> Ok Private
+  | "shared" -> Ok Shared
+  | other -> Error (Printf.sprintf "unknown LLC organisation %S" other)

@@ -1,0 +1,23 @@
+(** Last-level cache organisations.
+
+    The paper evaluates two LLC organisations (Section 2):
+    - [Private]: each node's L2 bank caches only its own core's data; an
+      L1 miss probes the local bank with no network traversal, and a
+      bank miss goes over the NoC to an MC.
+    - [Shared]: S-NUCA — every line has a statically determined home
+      bank (address-interleaved), so even LLC hits may cross the
+      network; a bank miss sends a request from the *bank* (not the
+      core) to the MC. *)
+
+type org =
+  | Private
+  | Shared
+
+val equal : org -> org -> bool
+
+val pp : Format.formatter -> org -> unit
+
+val to_string : org -> string
+
+val of_string : string -> (org, string) result
+(** Accepts ["private"] and ["shared"] (case-insensitive). *)

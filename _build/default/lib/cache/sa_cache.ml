@@ -1,0 +1,121 @@
+type t = {
+  line_size : int;
+  sets : int;
+  assoc : int;
+  tags : int array;  (* sets * assoc; -1 = invalid; tag = line index *)
+  dirty : Bytes.t;
+  stamp : int array;  (* LRU timestamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type result =
+  | Hit
+  | Miss of {
+      victim_line_addr : int;
+      victim_dirty : bool;
+    }
+
+let create ~size ~assoc ~line_size () =
+  if size <= 0 || assoc <= 0 || line_size <= 0 then
+    invalid_arg "Sa_cache.create: non-positive geometry";
+  let lines = size / line_size in
+  if lines = 0 || lines mod assoc <> 0 then
+    invalid_arg "Sa_cache.create: size not divisible into sets";
+  let sets = lines / assoc in
+  {
+    line_size;
+    sets;
+    assoc;
+    tags = Array.make lines (-1);
+    dirty = Bytes.make lines '\000';
+    stamp = Array.make lines 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let access t ~addr ~write =
+  if addr < 0 then invalid_arg "Sa_cache.access: negative address";
+  let line = addr / t.line_size in
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  t.clock <- t.clock + 1;
+  (* Search the set for a hit, remembering the LRU (or an invalid)
+     way as the victim. *)
+  let found = ref (-1) in
+  let victim = ref (-1) in
+  let oldest = ref max_int in
+  let invalid = ref (-1) in
+  for w = base to base + t.assoc - 1 do
+    if t.tags.(w) = line then found := w
+    else if t.tags.(w) = -1 then invalid := w
+    else if t.stamp.(w) < !oldest then begin
+      oldest := t.stamp.(w);
+      victim := w
+    end
+  done;
+  let victim = if !invalid >= 0 then invalid else victim in
+  if !found >= 0 then begin
+    let w = !found in
+    t.stamp.(w) <- t.clock;
+    if write then Bytes.unsafe_set t.dirty w '\001';
+    t.hits <- t.hits + 1;
+    Hit
+  end
+  else begin
+    let w = !victim in
+    let victim_tag = t.tags.(w) in
+    let victim_dirty = victim_tag >= 0 && Bytes.unsafe_get t.dirty w = '\001' in
+    if victim_dirty then t.writebacks <- t.writebacks + 1;
+    let victim_line_addr = if victim_tag >= 0 then victim_tag * t.line_size else -1 in
+    t.tags.(w) <- line;
+    Bytes.unsafe_set t.dirty w (if write then '\001' else '\000');
+    t.stamp.(w) <- t.clock;
+    t.misses <- t.misses + 1;
+    Miss { victim_line_addr; victim_dirty }
+  end
+
+let probe t ~addr =
+  let line = addr / t.line_size in
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  let rec go w = w < base + t.assoc && (t.tags.(w) = line || go (w + 1)) in
+  go base
+
+let invalidate t ~addr =
+  let line = addr / t.line_size in
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  for w = base to base + t.assoc - 1 do
+    if t.tags.(w) = line then begin
+      t.tags.(w) <- -1;
+      Bytes.unsafe_set t.dirty w '\000'
+    end
+  done
+
+let line_size t = t.line_size
+let num_sets t = t.sets
+let assoc t = t.assoc
+let capacity t = t.sets * t.assoc * t.line_size
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+let accesses t = t.hits + t.misses
+
+let hit_rate t =
+  let n = accesses t in
+  if n = 0 then 0. else float_of_int t.hits /. float_of_int n

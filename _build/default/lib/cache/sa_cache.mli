@@ -1,0 +1,61 @@
+(** Set-associative, write-back, write-allocate cache with LRU
+    replacement.
+
+    One instance models an L1 data cache or one LLC (L2) bank. The
+    implementation is imperative and allocation-free on the access path
+    — it sits in the innermost loop of the simulator. *)
+
+type t
+
+type result =
+  | Hit
+  | Miss of {
+      victim_line_addr : int;
+          (** base address of the evicted line, [-1] if the victim way
+              was invalid *)
+      victim_dirty : bool;
+          (** whether the eviction must write back to memory *)
+    }
+
+val create : size:int -> assoc:int -> line_size:int -> unit -> t
+(** [create ~size ~assoc ~line_size ()] builds an empty cache of [size]
+    bytes, [assoc] ways and [line_size]-byte lines. Raises
+    [Invalid_argument] if the geometry is inconsistent (size not
+    divisible into at least one set of [assoc] lines). *)
+
+val access : t -> addr:int -> write:bool -> result
+(** [access t ~addr ~write] looks up the line containing [addr],
+    installing it on a miss (write-allocate) and marking it dirty on a
+    write. LRU state is updated. *)
+
+val probe : t -> addr:int -> bool
+(** [probe t ~addr] is [true] iff the line is resident. Does not update
+    LRU or statistics — for inspection only. *)
+
+val invalidate : t -> addr:int -> unit
+(** Drops the line containing [addr] if resident (dirtiness is
+    discarded; the caller is responsible for any writeback). *)
+
+val line_size : t -> int
+
+val num_sets : t -> int
+
+val assoc : t -> int
+
+val capacity : t -> int
+
+val reset : t -> unit
+(** Empties the cache and clears statistics. *)
+
+(** {2 Statistics} *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val writebacks : t -> int
+(** Dirty evictions performed so far. *)
+
+val accesses : t -> int
+
+val hit_rate : t -> float

@@ -1,0 +1,1 @@
+lib/cme/cme.ml: Array Cache Ir List Machine Reuse

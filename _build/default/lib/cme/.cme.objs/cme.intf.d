@@ -1,0 +1,1 @@
+lib/cme/cme.mli: Ir Machine Reuse

@@ -1,0 +1,1 @@
+lib/cme/reuse.ml: Array Ir List String

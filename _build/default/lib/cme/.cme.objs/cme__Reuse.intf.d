@@ -1,0 +1,1 @@
+lib/cme/reuse.mli: Ir

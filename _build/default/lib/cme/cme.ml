@@ -1,0 +1,101 @@
+module Reuse = Reuse
+
+type outcome =
+  | L1_hit
+  | Llc_hit
+  | Llc_miss
+
+type t = {
+  nbody : int;
+  l1_p : int array;  (* per reference: L1 miss period over executions *)
+  llc_p : int array;  (* LLC miss period over the reference's L1 misses *)
+  counters : int array;  (* executions seen per reference *)
+  mutable cursor : int;  (* next body position *)
+  fits : bool;
+}
+
+let cold_only = max_int
+
+(* Miss period of a reference at a cache level: the reference executes
+   [inner_trip] times per parallel iteration and walks [fresh] bytes of
+   previously-untouched data, i.e. [fresh / line] new lines — so one
+   miss every [inner_trip * line / fresh] executions. *)
+let period ~inner_trip ~line ~fresh =
+  if fresh <= 0 then cold_only
+  else max 1 (inner_trip * line / fresh)
+
+let create (cfg : Machine.Config.t) prog layout ~nest =
+  let infos = Reuse.analyze prog layout ~nest in
+  let n : Ir.Loop_nest.t = List.nth prog.Ir.Program.nests nest in
+  let inner_trip = Ir.Loop_nest.inner_trip n in
+  let llc_capacity =
+    match cfg.llc_org with
+    | Cache.Llc.Private -> cfg.l2_size
+    | Cache.Llc.Shared -> cfg.l2_size * Machine.Config.num_cores cfg
+  in
+  let footprint = Reuse.nest_footprint prog layout ~nest in
+  (* A nest whose whole working set fits the LLC and that is re-executed
+     by a timing loop sees only cold LLC misses. *)
+  let fits = footprint <= llc_capacity && prog.Ir.Program.time_steps > 1 in
+  let l1_of (i : Reuse.info) =
+    if not i.regular then 1
+    else if (not i.step_dependent) && 2 * i.extent_bytes <= cfg.l1_size then
+      (* The whole array is L1-resident (e.g. a blocked tile): only
+         cold misses. *)
+      cold_only
+    else period ~inner_trip ~line:cfg.l1_line ~fresh:i.fresh_bytes_per_par_iter
+  in
+  let llc_of (i : Reuse.info) =
+    if not i.regular then 1
+    else if
+      (* Residency shortcuts model reuse across timing steps, which
+         per-step data slices never have. *)
+      (not i.step_dependent)
+      && (fits || 2 * i.extent_bytes <= llc_capacity)
+    then cold_only
+    else begin
+      let p1 = l1_of i in
+      if p1 = cold_only then cold_only
+      else begin
+        let p_llc =
+          period ~inner_trip ~line:cfg.l2_line
+            ~fresh:i.fresh_bytes_per_par_iter
+        in
+        max 1 (p_llc / p1)
+      end
+    end
+  in
+  {
+    nbody = Array.length infos;
+    l1_p = Array.map l1_of infos;
+    llc_p = Array.map llc_of infos;
+    counters = Array.make (Array.length infos) 0;
+    cursor = 0;
+    fits;
+  }
+
+let classify t =
+  let r = t.cursor in
+  t.cursor <- (t.cursor + 1) mod t.nbody;
+  let c = t.counters.(r) in
+  t.counters.(r) <- c + 1;
+  let p1 = t.l1_p.(r) in
+  let miss_l1 = if p1 = cold_only then c = 0 else c mod p1 = 0 in
+  if not miss_l1 then L1_hit
+  else begin
+    let l1_misses_so_far = if p1 = cold_only then 0 else c / p1 in
+    let p2 = t.llc_p.(r) in
+    let miss_llc =
+      if p2 = cold_only then l1_misses_so_far = 0
+      else l1_misses_so_far mod p2 = 0
+    in
+    if miss_llc then Llc_miss else Llc_hit
+  end
+
+let reset t =
+  Array.fill t.counters 0 t.nbody 0;
+  t.cursor <- 0
+
+let l1_period t r = t.l1_p.(r)
+let llc_period t r = t.llc_p.(r)
+let fits_llc t = t.fits

@@ -1,0 +1,48 @@
+(** Compile-time cache-miss estimation.
+
+    A statistical variant of cache-miss equations (the paper modified
+    Ghosh et al.'s CME the same way, Section 4, footnote 8): each
+    reference gets an L1 and an LLC *miss period* derived from its
+    reuse analysis — every [p]-th execution of the reference misses at
+    that level — plus a capacity test that predicts pure cold-miss
+    behaviour for nests whose working set fits the (private or
+    aggregated shared) LLC. Classification is deterministic and
+    streamed in program order, so the compile-time MAI/CAI vectors are
+    built from exactly the access sequence the machine will execute.
+
+    The estimator is intentionally imperfect (conflict misses, warm-up
+    and cross-nest reuse are invisible to it); the paper reports 76-93 %
+    accuracy for its CME and we report the analogous measured error in
+    the Figure 7a/8a experiments. *)
+
+module Reuse = Reuse
+(** Re-exported per-reference reuse analysis (the library module [Cme]
+    doubles as the library's root module). *)
+
+type outcome =
+  | L1_hit
+  | Llc_hit
+  | Llc_miss
+
+type t
+
+val create :
+  Machine.Config.t -> Ir.Program.t -> Ir.Layout.t -> nest:int -> t
+(** Compiles the per-reference periods for one nest. *)
+
+val classify : t -> outcome
+(** Classifies the next access of the nest in program order (the same
+    order {!Ir.Trace.iter_range} emits). Stateful. *)
+
+val reset : t -> unit
+(** Rewinds the stream to the first access. *)
+
+val l1_period : t -> int -> int
+(** [l1_period t r] is reference [r]'s L1 miss period ([max_int] means
+    cold miss only). For tests and diagnostics. *)
+
+val llc_period : t -> int -> int
+(** LLC miss period among the reference's L1 misses. *)
+
+val fits_llc : t -> bool
+(** Whether the capacity test classified the nest as LLC-resident. *)

@@ -1,0 +1,80 @@
+type info = {
+  regular : bool;
+  elem_size : int;
+  extent_bytes : int;
+  step_dependent : bool;
+  dominant_stride : int;
+  reuse_factor : int;
+  fresh_bytes_per_par_iter : int;
+}
+
+let nth_nest (p : Ir.Program.t) nest =
+  match List.nth_opt p.nests nest with
+  | Some n -> n
+  | None -> invalid_arg "Reuse: nest index out of range"
+
+let analyze (p : Ir.Program.t) layout ~nest =
+  let n = nth_nest p nest in
+  let analyze_ref (a : Ir.Access.t) =
+    let decl = Ir.Program.array_decl p a.array_name in
+    let extent = Ir.Layout.extent_bytes layout a.array_name in
+    match a.index with
+    | Ir.Access.Direct e ->
+        (* Inner loops the reference ignores carry pure temporal reuse;
+           the innermost one it depends on sets the stride of its fresh
+           data. *)
+        let reuse_factor =
+          List.fold_left
+            (fun acc (l : Ir.Loop_nest.loop) ->
+              if Ir.Affine.coeff e l.var = 0 then acc * Ir.Loop_nest.trip l
+              else acc)
+            1 n.inner
+        in
+        let inner_stride =
+          List.fold_left
+            (fun acc (l : Ir.Loop_nest.loop) ->
+              let c = Ir.Affine.coeff e l.var in
+              if c <> 0 then c * l.step * decl.elem_size else acc)
+            0 n.inner
+        in
+        let par_stride =
+          Ir.Affine.coeff e n.par.var * n.par.step * decl.elem_size
+        in
+        let dominant_stride =
+          if inner_stride <> 0 then inner_stride else par_stride
+        in
+        let unique_execs = Ir.Loop_nest.inner_trip n / reuse_factor in
+        let fresh =
+          max decl.elem_size (unique_execs * abs dominant_stride)
+        in
+        {
+          regular = true;
+          elem_size = decl.elem_size;
+          extent_bytes = extent;
+          step_dependent = Ir.Affine.coeff e Ir.Trace.step_var <> 0;
+          dominant_stride;
+          reuse_factor;
+          fresh_bytes_per_par_iter = min extent fresh;
+        }
+    | Ir.Access.Indirect _ ->
+        {
+          regular = false;
+          elem_size = decl.elem_size;
+          extent_bytes = extent;
+          step_dependent = false;
+          dominant_stride = decl.elem_size;
+          reuse_factor = 1;
+          fresh_bytes_per_par_iter = min extent (Ir.Loop_nest.inner_trip n * decl.elem_size);
+        }
+  in
+  Array.of_list (List.map analyze_ref n.body)
+
+let nest_footprint (p : Ir.Program.t) layout ~nest =
+  let n = nth_nest p nest in
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (a : Ir.Access.t) -> a.array_name) n.body)
+  in
+  List.fold_left
+    (fun acc name -> acc + Ir.Layout.extent_bytes layout name)
+    0 names

@@ -1,0 +1,38 @@
+(** Per-reference reuse analysis for affine loop nests.
+
+    For every reference of a nest this module derives the quantities the
+    miss estimator needs: which loops the reference actually depends on
+    (temporal reuse carried by the others), its dominant byte stride,
+    and the bytes of fresh data it walks per parallel iteration. This is
+    the reuse-vector skeleton of cache-miss-equation analyses à la Ghosh
+    et al., reduced to the stride/footprint classification the mapper
+    consumes. *)
+
+type info = {
+  regular : bool;  (** affine reference (analysable) *)
+  elem_size : int;
+  extent_bytes : int;  (** allocated bytes of the referenced array *)
+  step_dependent : bool;
+      (** the reference advances with the timing-step variable (per-step
+          data slices): its data is never revisited across steps, so
+          cache-residency shortcuts do not apply *)
+  dominant_stride : int;
+      (** bytes between consecutive *distinct* elements the reference
+          touches: the innermost inner-loop stride it depends on, or the
+          parallel-loop stride when it ignores all inner loops *)
+  reuse_factor : int;
+      (** executions per distinct element within one parallel iteration
+          (product of the trip counts of inner loops the reference does
+          not depend on) *)
+  fresh_bytes_per_par_iter : int;
+      (** bytes of previously-untouched data walked per parallel
+          iteration (>= [elem_size], capped at the array extent) *)
+}
+
+val analyze : Ir.Program.t -> Ir.Layout.t -> nest:int -> info array
+(** One [info] per body reference, in body order. Raises
+    [Invalid_argument] for an out-of-range nest. *)
+
+val nest_footprint : Ir.Program.t -> Ir.Layout.t -> nest:int -> int
+(** Sum over distinct arrays referenced by the nest of their allocated
+    bytes — the capacity test's working-set approximation. *)

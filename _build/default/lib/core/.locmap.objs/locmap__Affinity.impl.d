@@ -1,0 +1,1 @@
+lib/core/affinity.ml: Array Float Format List Machine Noc Region

@@ -1,0 +1,1 @@
+lib/core/affinity.mli: Format Machine Region

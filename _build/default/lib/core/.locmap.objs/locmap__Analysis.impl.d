@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Affinity Array Cache Cme Ir Machine Option Region Summary

@@ -1,0 +1,1 @@
+lib/core/assign.ml: Affinity Array Cache Float Machine Region Summary

@@ -1,0 +1,1 @@
+lib/core/assign.mli: Machine Region Summary

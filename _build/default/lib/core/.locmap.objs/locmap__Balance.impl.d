@@ -1,0 +1,1 @@
+lib/core/balance.ml: Array Float Fun Int List Region

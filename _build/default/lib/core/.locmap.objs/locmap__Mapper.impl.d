@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Analysis Array Assign Balance Cache Float Fun Ir List Machine Mem Option Random Region Summary

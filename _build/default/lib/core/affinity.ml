@@ -1,0 +1,64 @@
+let eta a b =
+  let m = Array.length a in
+  if m = 0 then invalid_arg "Affinity.eta: empty vector";
+  if m <> Array.length b then invalid_arg "Affinity.eta: length mismatch";
+  let sum = ref 0. in
+  for k = 0 to m - 1 do
+    sum := !sum +. Float.abs (a.(k) -. b.(k))
+  done;
+  !sum /. float_of_int m
+
+let normalize v =
+  let m = Array.length v in
+  if m = 0 then invalid_arg "Affinity.normalize: empty vector";
+  let sum = Array.fold_left ( +. ) 0. v in
+  if sum <= 0. then Array.make m (1. /. float_of_int m)
+  else Array.map (fun x -> x /. sum) v
+
+let of_counts c = normalize (Array.map float_of_int c)
+
+let is_distribution ?(eps = 1e-9) v =
+  Array.length v > 0
+  && Array.for_all (fun x -> x >= -.eps) v
+  && Float.abs (Array.fold_left ( +. ) 0. v -. 1.) <= eps
+
+let mac (cfg : Machine.Config.t) regions r =
+  let topo = Machine.Config.topology cfg in
+  let m = Noc.Topology.num_mcs topo in
+  let centre = Region.center regions r in
+  let dist k = Noc.Topology.distance_f topo centre (Noc.Topology.mc_coord topo k) in
+  let d = Array.init m dist in
+  match cfg.Machine.Config.mac_mode with
+  | Machine.Config.Nearest_set ->
+      let dmin = Array.fold_left min infinity d in
+      let tol = float_of_int cfg.Machine.Config.mac_tolerance in
+      let near = Array.map (fun x -> x <= dmin +. tol) d in
+      let n =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 near
+      in
+      Array.init m (fun k -> if near.(k) then 1. /. float_of_int n else 0.)
+  | Machine.Config.Inverse_distance ->
+      normalize (Array.map (fun x -> 1. /. (1. +. x)) d)
+
+let mac_all cfg regions = Array.init (Region.count regions) (mac cfg regions)
+
+let cac regions r =
+  let n = Region.count regions in
+  let v = Array.make n 0. in
+  let ns = Region.neighbors regions r in
+  (match ns with
+  | [] -> v.(r) <- 1.
+  | _ ->
+      v.(r) <- 0.5;
+      let share = 0.5 /. float_of_int (List.length ns) in
+      List.iter (fun q -> v.(q) <- share) ns);
+  v
+
+let cac_all regions = Array.init (Region.count regions) (cac regions)
+
+let pp ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%.3f" x))
+    (Array.to_list v)

@@ -1,0 +1,41 @@
+(** Affinity vectors and the similarity metric.
+
+    An affinity vector is a discrete probability distribution: MAI/MAC
+    range over memory controllers, CAI/CAC over regions (Sections
+    3.2-3.7). The dissimilarity between two vectors is the paper's
+    [η(δ, δ') = Σ_k |δ_k - δ'_k| / m]. *)
+
+val eta : float array -> float array -> float
+(** The paper's error (dissimilarity) measure. Raises
+    [Invalid_argument] on length mismatch or empty vectors. *)
+
+val normalize : float array -> float array
+(** Scales a non-negative vector to sum to 1; an all-zero vector
+    becomes uniform. *)
+
+val of_counts : int array -> float array
+(** {!normalize} over integer counts. *)
+
+val is_distribution : ?eps:float -> float array -> bool
+(** Entries non-negative and summing to 1 within [eps] (default
+    1e-9). *)
+
+val mac : Machine.Config.t -> Region.t -> int -> float array
+(** [mac cfg regions r] is the MAC vector of region [r]. Under the
+    default {!Machine.Config.Nearest_set} mode, affinity is split
+    equally over the MCs whose Manhattan distance from the region's
+    centre is within [cfg.mac_tolerance] of the minimum — this
+    reproduces the paper's Figure 6a on the default machine
+    (Section 3.3). {!Machine.Config.Inverse_distance} is the
+    finer-granular encoding Section 3.9 suggests. *)
+
+val mac_all : Machine.Config.t -> Region.t -> float array array
+
+val cac : Region.t -> int -> float array
+(** [cac regions r] is the CAC vector of region [r]: 0.5 on [r] itself
+    and the remaining 0.5 split equally over its orthogonal neighbours
+    (Figure 6c, Section 3.7). *)
+
+val cac_all : Region.t -> float array array
+
+val pp : Format.formatter -> float array -> unit

@@ -1,0 +1,123 @@
+let is_shared (cfg : Machine.Config.t) =
+  Cache.Llc.equal cfg.llc_org Cache.Llc.Shared
+
+let fresh_summaries cfg amap ~count =
+  let num_regions = Machine.Config.num_regions cfg in
+  Array.init count (fun _ ->
+      Summary.create ~num_mcs:(Machine.Addr_map.num_mcs amap) ~num_regions)
+
+let cme_summaries (cfg : Machine.Config.t) amap trace ~sets =
+  let prog = Ir.Trace.program trace in
+  let layout = Ir.Trace.layout trace in
+  let regions = Region.create cfg in
+  let shared = is_shared cfg in
+  let summaries = fresh_summaries cfg amap ~count:(Array.length sets) in
+  let predictor = ref None in
+  let current_nest = ref (-1) in
+  Array.iteri
+    (fun k (s : Ir.Iter_set.t) ->
+      if s.nest <> !current_nest then begin
+        current_nest := s.nest;
+        predictor := Some (Cme.create cfg prog layout ~nest:s.nest)
+      end;
+      let p = Option.get !predictor in
+      let sm = summaries.(k) in
+      Ir.Trace.iter_range ~step:0 trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
+        (fun ~addr ~write:_ ->
+          let pa = Machine.Addr_map.translate amap addr in
+          match Cme.classify p with
+          | Cme.L1_hit -> Summary.add_l1_hit sm
+          | Cme.Llc_hit ->
+              let region =
+                if shared then
+                  Region.of_node regions
+                    (Machine.Addr_map.bank_node_of amap pa)
+                else 0
+              in
+              Summary.add_llc_hit sm ~region
+          | Cme.Llc_miss ->
+              let bank_region =
+                if shared then
+                  Region.of_node regions
+                    (Machine.Addr_map.bank_node_of amap pa)
+                else -1
+              in
+              Summary.add_llc_miss sm ~bank_region
+                ~mc:(Machine.Addr_map.mc_of amap pa)))
+    sets;
+  summaries
+
+let observed_summaries ?(warm_pass = true) (cfg : Machine.Config.t) amap trace
+    ~sets =
+  let regions = Region.create cfg in
+  let shared = is_shared cfg in
+  let l1 =
+    Cache.Sa_cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc
+      ~line_size:cfg.l1_line ()
+  in
+  let banks =
+    if shared then
+      Array.init (Machine.Config.num_cores cfg) (fun _ ->
+          Cache.Sa_cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc
+            ~line_size:cfg.l2_line ())
+    else
+      [|
+        Cache.Sa_cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc
+          ~line_size:cfg.l2_line ();
+      |]
+  in
+  let steps = (Ir.Trace.program trace).Ir.Program.time_steps in
+  let replay ~step summaries =
+    Array.iteri
+      (fun k (s : Ir.Iter_set.t) ->
+        let sm = summaries.(k) in
+        Ir.Trace.iter_range ~step trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
+          (fun ~addr ~write ->
+            let pa = Machine.Addr_map.translate amap addr in
+            match Cache.Sa_cache.access l1 ~addr:pa ~write with
+            | Cache.Sa_cache.Hit -> Summary.add_l1_hit sm
+            | Cache.Sa_cache.Miss _ -> (
+                let bank_node, bank =
+                  if shared then
+                    let b = Machine.Addr_map.bank_node_of amap pa in
+                    (b, banks.(b))
+                  else (0, banks.(0))
+                in
+                match Cache.Sa_cache.access bank ~addr:pa ~write with
+                | Cache.Sa_cache.Hit ->
+                    let region =
+                      if shared then Region.of_node regions bank_node else 0
+                    in
+                    Summary.add_llc_hit sm ~region
+                | Cache.Sa_cache.Miss _ ->
+                    let bank_region =
+                      if shared then Region.of_node regions bank_node else -1
+                    in
+                    Summary.add_llc_miss sm ~bank_region
+                      ~mc:(Machine.Addr_map.mc_of amap pa))))
+      sets
+  in
+  let cold = fresh_summaries cfg amap ~count:(Array.length sets) in
+  replay ~step:0 cold;
+  if not warm_pass then (cold, cold)
+  else begin
+    (* Second pass continues with warm caches — and, for programs that
+       advance through per-step data slices, with the next step's
+       addresses: the executor's view. *)
+    let warm = fresh_summaries cfg amap ~count:(Array.length sets) in
+    replay ~step:(min 1 (steps - 1)) warm;
+    (cold, warm)
+  end
+
+let mean_error proj est truth =
+  let n = Array.length est in
+  if n <> Array.length truth then
+    invalid_arg "Analysis.mean_error: mismatched lengths";
+  if n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for k = 0 to n - 1 do
+      sum := !sum +. Affinity.eta (proj est.(k)) (proj truth.(k))
+    done;
+    !sum /. float_of_int n
+  end

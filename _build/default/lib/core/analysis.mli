@@ -1,0 +1,36 @@
+(** Building per-set summaries, at compile time and at runtime.
+
+    [cme_summaries] is the compile-time path for regular applications:
+    every access is classified by the CME estimator and its MC/bank
+    located through the exposed address mapping (paper, Section 4).
+
+    [observed_summaries] is the runtime path: a functional replay of the
+    access stream through L1/LLC-shaped caches. It returns two views:
+    the *cold* view — what the inspector sees during the first timing
+    iteration — and the *warm* view — the steady state the executor
+    experiences. The gap between estimated (or cold) and warm summaries
+    is exactly the MAI/CAI error the paper reports in Figures 7a/8a. *)
+
+val cme_summaries :
+  Machine.Config.t ->
+  Machine.Addr_map.t ->
+  Ir.Trace.t ->
+  sets:Ir.Iter_set.t array ->
+  Summary.t array
+
+val observed_summaries :
+  ?warm_pass:bool ->
+  Machine.Config.t ->
+  Machine.Addr_map.t ->
+  Ir.Trace.t ->
+  sets:Ir.Iter_set.t array ->
+  Summary.t array * Summary.t array
+(** [(cold, warm)] summaries, one per set. [warm_pass:false] (default
+    [true]) skips the second replay and returns the cold summaries in
+    both positions — for callers that only need the inspector view. *)
+
+val mean_error :
+  (Summary.t -> float array) -> Summary.t array -> Summary.t array -> float
+(** [mean_error proj est truth] is the mean over sets of
+    [Affinity.eta (proj est.(k)) (proj truth.(k))] — the per-application
+    MAI/CAI error metric. *)

@@ -1,0 +1,82 @@
+type t = {
+  shared : bool;
+  mac : float array array;
+  cac : float array array;
+  num_regions : int;
+  alpha_override : float option;
+}
+
+let create ?alpha_override (cfg : Machine.Config.t) regions =
+  (match alpha_override with
+  | Some a when a < 0. || a > 1. ->
+      invalid_arg "Assign.create: alpha_override out of [0, 1]"
+  | _ -> ());
+  {
+    shared = Cache.Llc.equal cfg.llc_org Cache.Llc.Shared;
+    mac = Affinity.mac_all cfg regions;
+    cac = Affinity.cac_all regions;
+    num_regions = Region.count regions;
+    alpha_override;
+  }
+
+let error t summary ~region =
+  if region < 0 || region >= t.num_regions then
+    invalid_arg "Assign.error: region out of range";
+  if not t.shared then
+    Affinity.eta (Summary.mai summary) t.mac.(region)
+  else begin
+    (* Algorithm 2: in S-NUCA a miss is requested from (and returns
+       through) the line's home bank, so the set's "memory" affinity is
+       located at the LLC banks serving its misses (Section 3.8's
+       MAI(LLC)) — compared, like CAI, against the region-proximity
+       vector CAC. *)
+    let alpha =
+      match t.alpha_override with
+      | Some a -> a
+      | None -> Summary.alpha summary
+    in
+    let eta_c = Affinity.eta (Summary.cai summary) t.cac.(region) in
+    let eta_m =
+      Affinity.eta (Summary.mai_regions summary) t.cac.(region)
+    in
+    (alpha *. eta_c) +. ((1. -. alpha) *. eta_m)
+  end
+
+let best_region t summary =
+  let best = ref 0 in
+  let best_err = ref (error t summary ~region:0) in
+  for r = 1 to t.num_regions - 1 do
+    let e = error t summary ~region:r in
+    if e < !best_err then begin
+      best := r;
+      best_err := e
+    end
+  done;
+  (!best, !best_err)
+
+let assign t summaries =
+  (* Ties (common for sets with near-uniform affinity) are broken
+     towards the region with the fewest sets so far: the paper does not
+     specify a tie order, and spreading ties keeps the subsequent load
+     balancer from moving half the sets. *)
+  let counts = Array.make t.num_regions 0 in
+  Array.map
+    (fun s ->
+      let best = ref 0 in
+      let best_err = ref (error t s ~region:0) in
+      for r = 1 to t.num_regions - 1 do
+        let e = error t s ~region:r in
+        if
+          e < !best_err -. 1e-9
+          || (Float.abs (e -. !best_err) <= 1e-9 && counts.(r) < counts.(!best))
+        then begin
+          best := r;
+          best_err := e
+        end
+      done;
+      counts.(!best) <- counts.(!best) + 1;
+      !best)
+    summaries
+
+let mac t r = t.mac.(r)
+let cac t r = t.cac.(r)

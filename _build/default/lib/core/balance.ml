@@ -1,0 +1,92 @@
+let counts ~num_regions region_of_set =
+  let c = Array.make num_regions 0 in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= num_regions then
+        invalid_arg "Balance.counts: region out of range";
+      c.(r) <- c.(r) + 1)
+    region_of_set;
+  c
+
+let is_balanced ~num_regions region_of_set =
+  let c = counts ~num_regions region_of_set in
+  let n = Array.length region_of_set in
+  let lo = n / num_regions in
+  let hi = if n mod num_regions = 0 then lo else lo + 1 in
+  Array.for_all (fun x -> x >= lo && x <= hi) c
+
+let balance ~regions ~cost ~region_of_set =
+  let num_regions = Region.count regions in
+  let n = Array.length region_of_set in
+  let result = Array.copy region_of_set in
+  if n = 0 || num_regions <= 1 then result
+  else begin
+    let count = counts ~num_regions region_of_set in
+    (* Desired loads: everyone gets [n / m]; the remainder stays with
+       the currently most-loaded regions to minimise movement. *)
+    let base = n / num_regions in
+    let rem = n mod num_regions in
+    let order =
+      List.sort
+        (fun a b -> Int.compare count.(b) count.(a))
+        (List.init num_regions Fun.id)
+    in
+    let desired = Array.make num_regions base in
+    List.iteri (fun i r -> if i < rem then desired.(r) <- base + 1) order;
+    let surplus = Array.init num_regions (fun r -> count.(r) - desired.(r)) in
+    (* Donor/receiver pairs by region proximity (the paper's
+       SORTED_NBGH), nearest pairs first. *)
+    let pairs = ref [] in
+    for d = 0 to num_regions - 1 do
+      for r = 0 to num_regions - 1 do
+        if surplus.(d) > 0 && surplus.(r) < 0 then
+          pairs := (Region.grid_distance regions d r, d, r) :: !pairs
+      done
+    done;
+    let pairs =
+      List.sort
+        (fun (da, d1, r1) (db, d2, r2) ->
+          match Int.compare da db with
+          | 0 -> (
+              match Int.compare d1 d2 with
+              | 0 -> Int.compare r1 r2
+              | c -> c)
+          | c -> c)
+        !pairs
+    in
+    (* Sets currently in each region, cheapest-to-move last so we can
+       pop from the tail. *)
+    let members = Array.make num_regions [] in
+    Array.iteri (fun k r -> members.(r) <- k :: members.(r)) result;
+    List.iter
+      (fun (_, d, r) ->
+        let quota = min surplus.(d) (-surplus.(r)) in
+        if quota > 0 then begin
+          (* Donate the sets whose error increase (receiver - donor) is
+             smallest. *)
+          let ranked =
+            List.sort
+              (fun a b ->
+                Float.compare (cost a r -. cost a d) (cost b r -. cost b d))
+              members.(d)
+          in
+          let rec take k moved rest =
+            if k = 0 then (moved, rest)
+            else
+              match rest with
+              | [] -> (moved, [])
+              | s :: tl -> take (k - 1) (s :: moved) tl
+          in
+          let moved, kept = take quota [] ranked in
+          List.iter
+            (fun s ->
+              result.(s) <- r;
+              members.(r) <- s :: members.(r))
+            moved;
+          members.(d) <- kept;
+          surplus.(d) <- surplus.(d) - List.length moved;
+          surplus.(r) <- surplus.(r) + List.length moved
+        end)
+      pairs;
+    result
+  end

@@ -1,0 +1,73 @@
+(** The top-level location-aware mapper — the paper's contribution,
+    end to end.
+
+    [map] runs the full pipeline of Figure 4: partition the parallel
+    iterations into sets, summarise each set's memory behaviour (CME at
+    compile time for regular applications, inspector replay for
+    irregular ones), compute MAI/CAI against the machine's MAC/CAC
+    tables, assign each set to its best region (Algorithm 1 or 2),
+    rebalance loads location-awarely, and finally pick a concrete core
+    inside each region (randomised but load-bounded, Section 3.9).
+
+    The returned {!info} carries everything the evaluation needs: the
+    optimised schedule, the matching round-robin baseline, the fraction
+    of sets moved by balancing (Table 3), the estimation errors
+    (Figures 7a/8a) and the modelled runtime overhead (Figures
+    7c/8c). *)
+
+type estimation =
+  | Cme_estimate  (** compile-time CME summaries (regular applications) *)
+  | Inspector
+      (** cold-cache runtime replay — the inspector's first-timing-step
+          view, with its overhead charged *)
+  | Oracle
+      (** warm-cache replay: perfect MAI/CAI/miss knowledge (the
+          paper's Figure 15 experiment) *)
+
+type info = {
+  schedule : Machine.Schedule.t;  (** the optimised mapping *)
+  baseline : Machine.Schedule.t;  (** round-robin default, same sets *)
+  sets : Ir.Iter_set.t array;
+  region_of_set : int array;  (** post-balance region per set *)
+  pre_balance_region : int array;
+  moved_fraction : float;  (** sets moved by load balancing *)
+  alpha_mean : float;  (** mean α over sets (shared LLC) *)
+  mai_error : float;  (** mean η(MAI_est, MAI_observed) *)
+  cai_error : float;  (** mean η(CAI_est, CAI_observed); 0 for private *)
+  overhead_cycles : int;  (** one-time runtime-scheme cost *)
+  estimation : estimation;  (** the estimation mode actually used *)
+}
+
+val map :
+  ?estimation:estimation ->
+  ?fraction:float ->
+  ?measure_error:bool ->
+  ?page_table:Mem.Page_table.t ->
+  ?cores:int array ->
+  ?balance:bool ->
+  ?alpha_override:float ->
+  Machine.Config.t ->
+  Ir.Trace.t ->
+  info
+(** [estimation] defaults per program kind (regular → [Cme_estimate],
+    irregular → [Inspector]); [fraction] overrides the configuration's
+    iteration-set size; [measure_error] (default [true]) additionally
+    replays the trace to measure estimation error — disable it in large
+    parameter sweeps. [cores] restricts placement to a core subset (a
+    multiprogrammed co-run): a region with no allowed core falls back
+    to the allowed cores nearest to it. [balance] (default [true])
+    disables the load-balancing pass when [false] and [alpha_override]
+    fixes the shared-LLC α weight — both are ablation knobs for the
+    design-choice studies. *)
+
+val default_schedule :
+  ?fraction:float -> Machine.Config.t -> Ir.Trace.t -> Machine.Schedule.t
+(** The paper's baseline: same iteration sets, round-robin cores. *)
+
+val job :
+  ?cores:int array -> Ir.Trace.t -> info -> Machine.Engine.job
+(** Packages an optimised mapping as an engine job, honouring the
+    inspector–executor protocol: irregular programs run their first
+    timing step under the baseline schedule, pay the inspector overhead,
+    and switch to the optimised schedule for the remaining steps;
+    regular programs use the optimised schedule throughout. *)

@@ -1,0 +1,61 @@
+type t = {
+  mc_counts : int array;
+  region_counts : int array;
+  miss_region_counts : int array;
+  mutable llc_hits : int;
+  mutable llc_misses : int;
+  mutable l1_hits : int;
+}
+
+let create ~num_mcs ~num_regions =
+  if num_mcs <= 0 || num_regions <= 0 then
+    invalid_arg "Summary.create: non-positive dimension";
+  {
+    mc_counts = Array.make num_mcs 0;
+    region_counts = Array.make num_regions 0;
+    miss_region_counts = Array.make num_regions 0;
+    llc_hits = 0;
+    llc_misses = 0;
+    l1_hits = 0;
+  }
+
+let add_l1_hit t = t.l1_hits <- t.l1_hits + 1
+
+let add_llc_hit t ~region =
+  t.region_counts.(region) <- t.region_counts.(region) + 1;
+  t.llc_hits <- t.llc_hits + 1
+
+let add_llc_miss t ~mc ~bank_region =
+  t.mc_counts.(mc) <- t.mc_counts.(mc) + 1;
+  if bank_region >= 0 then
+    t.miss_region_counts.(bank_region) <-
+      t.miss_region_counts.(bank_region) + 1;
+  t.llc_misses <- t.llc_misses + 1
+
+let mai t = Affinity.of_counts t.mc_counts
+let mai_regions t = Affinity.of_counts t.miss_region_counts
+let cai t = Affinity.of_counts t.region_counts
+
+let alpha t =
+  let n = t.llc_hits + t.llc_misses in
+  if n = 0 then 0.5 else float_of_int t.llc_hits /. float_of_int n
+
+let accesses t = t.l1_hits + t.llc_hits + t.llc_misses
+
+let merge a b =
+  if
+    Array.length a.mc_counts <> Array.length b.mc_counts
+    || Array.length a.region_counts <> Array.length b.region_counts
+  then invalid_arg "Summary.merge: mismatched dimensions";
+  {
+    mc_counts = Array.init (Array.length a.mc_counts) (fun k -> a.mc_counts.(k) + b.mc_counts.(k));
+    region_counts =
+      Array.init (Array.length a.region_counts) (fun k ->
+          a.region_counts.(k) + b.region_counts.(k));
+    miss_region_counts =
+      Array.init (Array.length a.miss_region_counts) (fun k ->
+          a.miss_region_counts.(k) + b.miss_region_counts.(k));
+    llc_hits = a.llc_hits + b.llc_hits;
+    llc_misses = a.llc_misses + b.llc_misses;
+    l1_hits = a.l1_hits + b.l1_hits;
+  }

@@ -1,0 +1,54 @@
+(** Per-iteration-set access summaries.
+
+    A summary accumulates, for one iteration set, where its LLC misses
+    go (per MC) and where its LLC hits are served from (per region of
+    the home bank) — the raw counts behind MAI, CAI and α. Summaries
+    are produced either by the compile-time CME analysis (regular
+    applications) or by the runtime inspector (irregular applications),
+    and in both cases consumed identically by the mapping algorithms. *)
+
+type t = {
+  mc_counts : int array;  (** LLC misses destined to each MC *)
+  region_counts : int array;  (** LLC hits served by banks in each region *)
+  miss_region_counts : int array;
+      (** LLC misses by home-bank region (shared LLC): in S-NUCA a miss
+          is requested from and returned through the line's home bank,
+          so the on-chip distance its traffic travels from the core is
+          governed by the bank's region — the paper's "MAI of the LLC"
+          (Section 3.8) *)
+  mutable llc_hits : int;
+  mutable llc_misses : int;
+  mutable l1_hits : int;
+}
+
+val create : num_mcs:int -> num_regions:int -> t
+
+val add_l1_hit : t -> unit
+
+val add_llc_hit : t -> region:int -> unit
+
+val add_llc_miss : t -> mc:int -> bank_region:int -> unit
+(** [bank_region] is the miss's home-bank region (shared LLC); pass
+    [-1] for a private LLC, where the notion does not apply. *)
+
+val mai : t -> float array
+(** Memory affinity of the set: normalised MC miss distribution
+    (uniform when the set never missed). *)
+
+val mai_regions : t -> float array
+(** Shared-LLC memory affinity: normalised distribution of misses over
+    home-bank regions. *)
+
+val cai : t -> float array
+(** Cache affinity of the set: normalised per-region hit distribution
+    (uniform when the set never hit in the LLC). *)
+
+val alpha : t -> float
+(** Estimated LLC hit fraction among LLC-reaching accesses — the α
+    weight of Section 3.8 (0.5 when the set never reached the LLC). *)
+
+val accesses : t -> int
+
+val merge : t -> t -> t
+(** Element-wise sum (fresh summary). Raises [Invalid_argument] on
+    mismatched dimensions. *)

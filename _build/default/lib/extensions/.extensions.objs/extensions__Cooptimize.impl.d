@@ -1,0 +1,1 @@
+lib/extensions/cooptimize.ml: Baselines Locmap Machine Option

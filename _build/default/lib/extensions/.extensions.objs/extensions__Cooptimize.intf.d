@@ -1,0 +1,1 @@
+lib/extensions/cooptimize.mli: Ir Locmap Machine Mem

@@ -1,0 +1,23 @@
+(** Computation/data co-optimisation — the paper's stated future work
+    (Section 7: "co-optimizing computation and data mapping together").
+
+    Computation mapping and data layout are coupled: the best core for
+    an iteration set depends on where its pages live, and the best page
+    placement depends on which cores access them. This extension runs a
+    simple coordinate descent between the two: re-place pages (the
+    Ding-et-al-style rotations of {!Baselines.Layout_opt}) under the
+    current schedule, then re-map computation against the new layout,
+    for a fixed number of rounds. Each half-step only ever improves its
+    own objective, so a couple of rounds typically reach a fixed
+    point. *)
+
+val run :
+  ?rounds:int ->
+  Machine.Config.t ->
+  Ir.Trace.t ->
+  Mem.Page_table.t ->
+  Locmap.Mapper.info
+(** [run cfg trace pt] alternates layout optimisation and re-mapping
+    for [rounds] rounds (default 2, at least 1), installing the final
+    page remappings into [pt] and returning the final mapping. Simulate
+    the result with the same page table. *)

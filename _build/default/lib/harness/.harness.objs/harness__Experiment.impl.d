@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Baselines Cache Digest Extensions Hashtbl Ir Locmap Machine Marshal Mem Workloads

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Cache Experiment Format Hashtbl Ir List Locmap Machine Mem Noc Option Printf Report Workloads

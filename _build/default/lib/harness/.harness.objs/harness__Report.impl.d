@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float List Option Printf String

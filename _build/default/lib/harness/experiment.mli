@@ -1,0 +1,48 @@
+(** Running benchmarks under the evaluated mapping strategies.
+
+    One [prepared] bundle per (benchmark, scale); one [run] per
+    (configuration, benchmark, strategy), memoised process-wide so the
+    figure drivers can share results without re-simulating. *)
+
+type prepared = {
+  entry : Workloads.Registry.entry;
+  scale : float;
+  prog : Ir.Program.t;
+  trace : Ir.Trace.t;
+}
+
+val prepare : ?scale:float -> Workloads.Registry.entry -> prepared
+
+val prepare_name : ?scale:float -> string -> prepared
+(** Raises [Not_found] for an unknown benchmark name. *)
+
+type strategy =
+  | Default  (** round-robin iteration sets, the paper's baseline *)
+  | Location_aware  (** the paper's scheme (CME / inspector–executor) *)
+  | La_oracle  (** perfect MAI/CAI/miss estimation (Figure 15) *)
+  | Ideal_network  (** default mapping, zero-latency NoC (Figure 2) *)
+  | Hw_placement  (** Das et al. [16]-style placement (Figure 14) *)
+  | Data_opt  (** Ding et al. [22] layout optimisation (Figure 13) *)
+  | La_plus_do  (** DO first, then the paper's mapping (Figure 13) *)
+  | Co_optimized
+      (** alternating data/computation co-optimisation — the paper's
+          future work, implemented in {!Extensions.Cooptimize} *)
+
+val strategy_name : strategy -> string
+
+type outcome = {
+  stats : Machine.Stats.t;
+  info : Locmap.Mapper.info option;
+      (** mapping diagnostics, for location-aware strategies *)
+}
+
+val run : Machine.Config.t -> prepared -> strategy -> outcome
+(** Simulates (memoised). *)
+
+val clear_cache : unit -> unit
+
+val reduction : base:int -> int -> float
+(** Percentage reduction of a metric versus a baseline value. *)
+
+val reductions : base:outcome -> outcome -> float * float
+(** (network-latency reduction %, execution-time reduction %). *)

@@ -1,0 +1,50 @@
+let table ~title ~headers rows =
+  let all = headers :: rows in
+  let cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render row =
+    List.mapi (fun c w ->
+        pad (Option.value (List.nth_opt row c) ~default:"") w)
+      widths
+    |> String.concat "  "
+  in
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '-');
+  print_endline (render headers);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun r -> print_endline (render r)) rows;
+  flush stdout
+
+let geomean_ratio ratios =
+  match ratios with
+  | [] -> 1.
+  | _ ->
+      let log_sum =
+        List.fold_left (fun acc r -> acc +. Float.log (Float.max r 1e-6)) 0.
+          ratios
+      in
+      Float.exp (log_sum /. float_of_int (List.length ratios))
+
+let geomean_reduction pcts =
+  let ratios = List.map (fun p -> 1. -. (p /. 100.)) pcts in
+  100. *. (1. -. geomean_ratio ratios)
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let pct x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x

@@ -1,0 +1,1 @@
+lib/ir/iter_set.ml: Array Float Format List Loop_nest Program

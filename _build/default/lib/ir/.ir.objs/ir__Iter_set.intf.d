@@ -1,0 +1,1 @@
+lib/ir/iter_set.mli: Format Program

@@ -1,0 +1,1 @@
+lib/ir/loop_nest.ml: Access Format List Printf String

@@ -1,0 +1,1 @@
+lib/ir/loop_nest.mli: Access Format

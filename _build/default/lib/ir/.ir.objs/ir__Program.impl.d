@@ -1,0 +1,1 @@
+lib/ir/program.ml: Access Format List Loop_nest Printf String

@@ -1,0 +1,1 @@
+lib/ir/trace.ml: Access Affine Array Layout List Loop_nest Printf Program

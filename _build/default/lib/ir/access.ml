@@ -1,0 +1,44 @@
+type index =
+  | Direct of Affine.t
+  | Indirect of {
+      table : string;
+      pos : Affine.t;
+      offset : Affine.t;
+    }
+
+type kind =
+  | Read
+  | Write
+
+type t = {
+  array_name : string;
+  index : index;
+  kind : kind;
+}
+
+let read a index = { array_name = a; index; kind = Read }
+let write a index = { array_name = a; index; kind = Write }
+let direct e = Direct e
+let indirect ~table ~pos = Indirect { table; pos; offset = Affine.const 0 }
+
+let is_regular t =
+  match t.index with
+  | Direct _ -> true
+  | Indirect _ -> false
+
+let is_write t =
+  match t.kind with
+  | Write -> true
+  | Read -> false
+
+let pp ppf t =
+  let arrow = if is_write t then "<-" else "->" in
+  match t.index with
+  | Direct e -> Format.fprintf ppf "%s[%a] %s" t.array_name Affine.pp e arrow
+  | Indirect { table; pos; offset } ->
+      if Affine.is_constant offset && Affine.constant_part offset = 0 then
+        Format.fprintf ppf "%s[%s[%a]] %s" t.array_name table Affine.pp pos
+          arrow
+      else
+        Format.fprintf ppf "%s[%s[%a]+%a] %s" t.array_name table Affine.pp pos
+          Affine.pp offset arrow

@@ -1,0 +1,40 @@
+(** Array references inside a loop body.
+
+    A reference is either *regular* — an affine element index the
+    compiler analyses at compile time — or *irregular* — an index-array
+    indirection [A\[idx\[pos\] + offset\]] whose targets are only known
+    at runtime, handled by the inspector–executor scheme (paper,
+    Section 4). *)
+
+type index =
+  | Direct of Affine.t  (** element index is an affine expression *)
+  | Indirect of {
+      table : string;  (** name of the index array *)
+      pos : Affine.t;  (** affine position within the index array *)
+      offset : Affine.t;  (** affine addend to the looked-up value *)
+    }
+
+type kind =
+  | Read
+  | Write
+
+type t = {
+  array_name : string;
+  index : index;
+  kind : kind;
+}
+
+val read : string -> index -> t
+
+val write : string -> index -> t
+
+val direct : Affine.t -> index
+
+val indirect : table:string -> pos:Affine.t -> index
+(** Indirection with a zero offset. *)
+
+val is_regular : t -> bool
+
+val is_write : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = {
+  const : int;
+  terms : (string * int) list;  (* sorted by variable, no zero coeffs *)
+}
+
+let normalize terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let const c = { const = c; terms = [] }
+
+let var ?(coeff = 1) v = { const = 0; terms = normalize [ (v, coeff) ] }
+
+let merge a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | ((vx, cx) as x) :: xs', ((vy, cy) as y) :: ys' -> (
+        match String.compare vx vy with
+        | 0 ->
+            let c = cx + cy in
+            if c = 0 then go xs' ys' else (vx, c) :: go xs' ys'
+        | n when n < 0 -> x :: go xs' ys
+        | _ -> y :: go xs ys')
+  in
+  go a b
+
+let add a b = { const = a.const + b.const; terms = merge a.terms b.terms }
+
+let scale k e =
+  if k = 0 then const 0
+  else { const = k * e.const; terms = List.map (fun (v, c) -> (v, k * c)) e.terms }
+
+let sub a b = add a (scale (-1) b)
+
+let constant_part e = e.const
+
+let coeff e v =
+  match List.assoc_opt v e.terms with
+  | Some c -> c
+  | None -> 0
+
+let vars e = List.map fst e.terms
+
+let eval env e =
+  List.fold_left (fun acc (v, c) -> acc + (c * env v)) e.const e.terms
+
+let is_constant e = e.terms = []
+
+let ( + ) = add
+let ( * ) = scale
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let pp ppf e =
+  let pp_term ppf (v, c) =
+    if c = 1 then Format.pp_print_string ppf v
+    else Format.fprintf ppf "%d*%s" c v
+  in
+  match (e.terms, e.const) with
+  | [], c -> Format.pp_print_int ppf c
+  | ts, 0 ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        pp_term ppf ts
+  | ts, c ->
+      Format.fprintf ppf "%a + %d"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+           pp_term)
+        ts c

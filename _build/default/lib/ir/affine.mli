@@ -1,0 +1,39 @@
+(** Affine expressions over loop variables.
+
+    An affine expression is [const + Σ coeff_v · v] for loop variables
+    [v]. These are the index expressions the compiler can analyse
+    exactly — the paper's "regular" references (Section 4). *)
+
+type t
+
+val const : int -> t
+
+val var : ?coeff:int -> string -> t
+(** [var ~coeff v] is [coeff · v]; [coeff] defaults to 1. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : int -> t -> t
+
+val ( + ) : t -> t -> t
+
+val ( * ) : int -> t -> t
+
+val constant_part : t -> int
+
+val coeff : t -> string -> int
+(** Coefficient of a variable ([0] if absent). *)
+
+val vars : t -> string list
+(** Variables with non-zero coefficients, sorted. *)
+
+val eval : (string -> int) -> t -> int
+(** [eval env e] evaluates [e] with variable values from [env]. *)
+
+val is_constant : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

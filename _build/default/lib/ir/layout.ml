@@ -1,0 +1,65 @@
+type entry = {
+  base : int;
+  elem_size : int;
+  extent : int;
+}
+
+type t = {
+  page_size : int;
+  entries : (string * entry) list;  (* allocation order *)
+  footprint : int;
+}
+
+let allocate ~page_size (p : Program.t) =
+  if page_size <= 0 then invalid_arg "Layout.allocate: bad page size";
+  let cursor = ref 0 in
+  let place name ~bytes ~elem_size =
+    let extent = Mem.Address.align_up bytes ~to_:page_size in
+    let base = !cursor in
+    cursor := base + extent;
+    (name, { base; elem_size; extent })
+  in
+  let array_entries =
+    List.map
+      (fun (d : Program.array_decl) ->
+        place d.name ~bytes:(d.elem_size * d.length) ~elem_size:d.elem_size)
+      p.arrays
+  in
+  let table_entries =
+    List.map
+      (fun (name, contents) ->
+        place name ~bytes:(8 * Array.length contents) ~elem_size:8)
+      p.index_tables
+  in
+  { page_size; entries = array_entries @ table_entries; footprint = !cursor }
+
+let find t name =
+  match List.assoc_opt name t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let base t name = (find t name).base
+let elem_size t name = (find t name).elem_size
+let extent_bytes t name = (find t name).extent
+
+let with_base t name new_base =
+  let found = ref false in
+  let entries =
+    List.map
+      (fun (n, e) ->
+        if n = name then begin
+          found := true;
+          (n, { e with base = new_base })
+        end
+        else (n, e))
+      t.entries
+  in
+  if not !found then raise Not_found;
+  let footprint =
+    List.fold_left (fun acc (_, e) -> max acc (e.base + e.extent)) 0 entries
+  in
+  { t with entries; footprint }
+
+let footprint t = t.footprint
+let arrays t = List.map fst t.entries
+let page_size t = t.page_size

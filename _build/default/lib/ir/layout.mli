@@ -1,0 +1,34 @@
+(** Memory layout: virtual base addresses of arrays.
+
+    The allocator places arrays (and index tables) back-to-back on page
+    boundaries — the deterministic layout both the compile-time analysis
+    and the simulator share. A layout can be rebased per array, which is
+    how the data-layout-optimisation baseline expresses its
+    transformations. *)
+
+type t
+
+val allocate : page_size:int -> Program.t -> t
+(** Sequential page-aligned allocation, arrays first (in declaration
+    order), then index tables. *)
+
+val base : t -> string -> int
+(** Virtual base address of an array or index table. Raises
+    [Not_found] if unknown. *)
+
+val elem_size : t -> string -> int
+(** Element size of an array ([8] for index tables). *)
+
+val extent_bytes : t -> string -> int
+(** Allocated bytes (page-aligned) of an array. *)
+
+val with_base : t -> string -> int -> t
+(** Functional update of one array's base address. *)
+
+val footprint : t -> int
+(** One past the highest allocated byte. *)
+
+val arrays : t -> string list
+(** All allocated names, in allocation order. *)
+
+val page_size : t -> int

@@ -1,0 +1,54 @@
+type loop = {
+  var : string;
+  lo : int;
+  hi : int;
+  step : int;
+}
+
+type t = {
+  name : string;
+  par : loop;
+  inner : loop list;
+  body : Access.t list;
+  compute_cycles : int;
+}
+
+let loop ?(lo = 0) ?(step = 1) var ~hi = { var; lo; hi; step }
+
+let check_loop l =
+  if l.step <= 0 then
+    invalid_arg (Printf.sprintf "Loop_nest: loop %s has non-positive step" l.var);
+  if l.hi <= l.lo then
+    invalid_arg (Printf.sprintf "Loop_nest: loop %s is empty" l.var)
+
+let make ~name ~par ?(inner = []) ?(compute_cycles = 4) body =
+  check_loop par;
+  List.iter check_loop inner;
+  if compute_cycles < 0 then
+    invalid_arg "Loop_nest.make: negative compute cycles";
+  let vars = par.var :: List.map (fun l -> l.var) inner in
+  let sorted = List.sort_uniq String.compare vars in
+  if List.length sorted <> List.length vars then
+    invalid_arg "Loop_nest.make: duplicate loop variable";
+  { name; par; inner; body; compute_cycles }
+
+let trip l = ((l.hi - l.lo - 1) / l.step) + 1
+
+let iterations t = trip t.par
+
+let inner_trip t = List.fold_left (fun acc l -> acc * trip l) 1 t.inner
+
+let accesses_per_par_iter t = inner_trip t * List.length t.body
+
+let is_regular t = List.for_all Access.is_regular t.body
+
+let pp ppf t =
+  let pp_loop ppf l =
+    Format.fprintf ppf "for %s = %d..%d step %d" l.var l.lo (l.hi - 1) l.step
+  in
+  Format.fprintf ppf "@[<v 2>nest %s:@ par %a@ %a@ body: %a@]" t.name pp_loop
+    t.par
+    (Format.pp_print_list pp_loop)
+    t.inner
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Access.pp)
+    t.body

@@ -1,0 +1,55 @@
+(** Parallel loop nests.
+
+    A nest has one parallel outermost loop — the dimension whose
+    iterations the mapper distributes over cores — and any number of
+    sequential inner loops. The body is the list of array references
+    performed by each innermost iteration, plus the arithmetic work it
+    represents, expressed in core cycles. *)
+
+type loop = {
+  var : string;
+  lo : int;  (** inclusive *)
+  hi : int;  (** exclusive *)
+  step : int;  (** positive *)
+}
+
+type t = {
+  name : string;
+  par : loop;  (** the parallel loop *)
+  inner : loop list;  (** sequential inner loops, outermost first *)
+  body : Access.t list;
+  compute_cycles : int;  (** per innermost iteration *)
+}
+
+val loop : ?lo:int -> ?step:int -> string -> hi:int -> loop
+(** [loop v ~hi] is [for v = lo to hi-1 step step]; [lo] defaults to 0
+    and [step] to 1. *)
+
+val make :
+  name:string ->
+  par:loop ->
+  ?inner:loop list ->
+  ?compute_cycles:int ->
+  Access.t list ->
+  t
+(** Builds a nest. [compute_cycles] defaults to 4. Raises
+    [Invalid_argument] on an empty or ill-formed loop (non-positive
+    step, [hi <= lo]). *)
+
+val trip : loop -> int
+(** Number of iterations of a single loop. *)
+
+val iterations : t -> int
+(** Trip count of the parallel loop — the unit the mapper partitions
+    into iteration sets. *)
+
+val inner_trip : t -> int
+(** Product of inner-loop trip counts. *)
+
+val accesses_per_par_iter : t -> int
+(** Memory references issued by one parallel iteration. *)
+
+val is_regular : t -> bool
+(** All references affine. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type array_decl = {
+  name : string;
+  elem_size : int;
+  length : int;
+}
+
+type kind =
+  | Regular
+  | Irregular
+
+type t = {
+  name : string;
+  kind : kind;
+  arrays : array_decl list;
+  index_tables : (string * int array) list;
+  nests : Loop_nest.t list;
+  time_steps : int;
+}
+
+let check_unique what names =
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg (Printf.sprintf "Program.create: duplicate %s name" what)
+
+let validate_access ~arrays ~tables (a : Access.t) =
+  if not (List.exists (fun (d : array_decl) -> d.name = a.array_name) arrays)
+  then
+    invalid_arg
+      (Printf.sprintf "Program.create: reference to undeclared array %S"
+         a.array_name);
+  match a.index with
+  | Access.Direct _ -> ()
+  | Access.Indirect { table; _ } ->
+      if not (List.mem_assoc table tables) then
+        invalid_arg
+          (Printf.sprintf "Program.create: reference to undeclared table %S"
+             table)
+
+let create ~name ~kind ~arrays ?(index_tables = []) ?(time_steps = 1) nests =
+  if nests = [] then invalid_arg "Program.create: no loop nests";
+  if time_steps <= 0 then invalid_arg "Program.create: non-positive time_steps";
+  List.iter
+    (fun d ->
+      if d.elem_size <= 0 || d.length <= 0 then
+        invalid_arg
+          (Printf.sprintf "Program.create: array %S has bad geometry" d.name))
+    arrays;
+  check_unique "array" (List.map (fun (d : array_decl) -> d.name) arrays);
+  check_unique "index table" (List.map fst index_tables);
+  List.iter
+    (fun (n : Loop_nest.t) ->
+      List.iter (validate_access ~arrays ~tables:index_tables) n.body)
+    nests;
+  { name; kind; arrays; index_tables; nests; time_steps }
+
+let array_decl t name =
+  List.find (fun (d : array_decl) -> d.name = name) t.arrays
+
+let find_table t name = List.assoc name t.index_tables
+
+let num_nests t = List.length t.nests
+
+let total_par_iterations t =
+  List.fold_left (fun acc n -> acc + Loop_nest.iterations n) 0 t.nests
+
+let total_accesses_per_step t =
+  List.fold_left
+    (fun acc n ->
+      acc + (Loop_nest.iterations n * Loop_nest.accesses_per_par_iter n))
+    0 t.nests
+
+let footprint_bytes t =
+  List.fold_left (fun acc d -> acc + (d.elem_size * d.length)) 0 t.arrays
+
+let num_arrays t = List.length t.arrays + List.length t.index_tables
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s (%s): %d nests, %d arrays, %d steps@]"
+    t.name
+    (match t.kind with
+    | Regular -> "regular"
+    | Irregular -> "irregular")
+    (num_nests t) (num_arrays t) t.time_steps

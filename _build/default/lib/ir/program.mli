@@ -1,0 +1,62 @@
+(** Whole multi-threaded programs.
+
+    A program is a set of array declarations, optional index tables
+    (contents of index arrays, known only at runtime), and a sequence of
+    parallel loop nests executed [time_steps] times inside an outer
+    timing loop — the structure the paper's inspector–executor scheme
+    assumes for irregular applications (Section 4). *)
+
+type array_decl = {
+  name : string;
+  elem_size : int;  (** bytes per element *)
+  length : int;  (** number of elements *)
+}
+
+type kind =
+  | Regular  (** compile-time analysable: CME drives the mapping *)
+  | Irregular  (** index-array based: inspector–executor drives it *)
+
+type t = private {
+  name : string;
+  kind : kind;
+  arrays : array_decl list;
+  index_tables : (string * int array) list;
+  nests : Loop_nest.t list;
+  time_steps : int;
+}
+
+val create :
+  name:string ->
+  kind:kind ->
+  arrays:array_decl list ->
+  ?index_tables:(string * int array) list ->
+  ?time_steps:int ->
+  Loop_nest.t list ->
+  t
+(** Builds and validates a program: array and table names must be
+    unique, every reference must name a declared array, every
+    indirection a declared table, and [time_steps] must be positive
+    (default 1). Raises [Invalid_argument] otherwise. *)
+
+val array_decl : t -> string -> array_decl
+(** Raises [Not_found] for an undeclared array. *)
+
+val find_table : t -> string -> int array
+(** Raises [Not_found] for an undeclared table. *)
+
+val num_nests : t -> int
+
+val total_par_iterations : t -> int
+(** Σ over nests of the parallel trip count. *)
+
+val total_accesses_per_step : t -> int
+(** Memory references issued by one timing-loop step. *)
+
+val footprint_bytes : t -> int
+(** Total bytes of declared arrays (index tables excluded). *)
+
+val num_arrays : t -> int
+(** Declared arrays plus index tables — the paper's Table 3 "number of
+    arrays" column counts both. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,211 @@
+type caccess =
+  | Cdirect of {
+      base : int;  (* array base + const offset, bytes *)
+      coeffs : int array;  (* per loop var, in bytes *)
+      write : bool;
+    }
+  | Cindirect of {
+      abase : int;
+      elem : int;
+      alen : int;  (* elements, for bounds checking *)
+      table : int array;
+      pconst : int;
+      pcoeffs : int array;
+      oconst : int;
+      ocoeffs : int array;
+      write : bool;
+    }
+
+type cnest = {
+  par : Loop_nest.loop;
+  inner : Loop_nest.loop array;
+  body : caccess array;
+  nvars : int;
+  appi : int;
+  compute_per_par_iter : int;
+  iterations : int;
+}
+
+type t = {
+  prog : Program.t;
+  layout : Layout.t;
+  nests : cnest array;
+}
+
+(* Position 0 of the variable vector is the timing-step variable "t";
+   the parallel and inner loop variables follow. *)
+let step_var = "t"
+
+let compile_coeffs vars e =
+  Array.map (fun v -> Affine.coeff e v) vars
+
+(* Static bounds check: the extreme element indices of an affine
+   reference over the loop (and step) ranges must stay inside the
+   array. *)
+let check_direct_bounds prog (n : Loop_nest.t) (a : Access.t) e =
+  let decl = Program.array_decl prog a.array_name in
+  let ranges =
+    (step_var, 0, prog.Program.time_steps - 1)
+    :: List.map
+         (fun (l : Loop_nest.loop) ->
+           (l.var, l.lo, l.lo + ((Loop_nest.trip l - 1) * l.step)))
+         (n.par :: n.inner)
+  in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (v, vlo, vhi) ->
+        let c = Affine.coeff e v in
+        if c >= 0 then (lo + (c * vlo), hi + (c * vhi))
+        else (lo + (c * vhi), hi + (c * vlo)))
+      (Affine.constant_part e, Affine.constant_part e)
+      ranges
+  in
+  if lo < 0 || hi >= decl.length then
+    invalid_arg
+      (Printf.sprintf
+         "Trace: reference to %s in nest %s ranges over [%d, %d] but the           array has %d elements"
+         a.array_name n.name lo hi decl.length)
+
+let compile_access (prog : Program.t) layout vars nest (a : Access.t) =
+  let decl = Program.array_decl prog a.array_name in
+  let abase = Layout.base layout a.array_name in
+  let write = Access.is_write a in
+  match a.index with
+  | Access.Direct e ->
+      check_direct_bounds prog nest a e;
+      Cdirect
+        {
+          base = abase + (decl.elem_size * Affine.constant_part e);
+          coeffs =
+            Array.map (fun c -> c * decl.elem_size) (compile_coeffs vars e);
+          write;
+        }
+  | Access.Indirect { table; pos; offset } ->
+      Cindirect
+        {
+          abase;
+          elem = decl.elem_size;
+          alen = decl.length;
+          table = Program.find_table prog table;
+          pconst = Affine.constant_part pos;
+          pcoeffs = compile_coeffs vars pos;
+          oconst = Affine.constant_part offset;
+          ocoeffs = compile_coeffs vars offset;
+          write;
+        }
+
+let compile_nest prog layout (n : Loop_nest.t) =
+  let vars =
+    Array.of_list
+      (step_var :: n.par.var
+      :: List.map (fun (l : Loop_nest.loop) -> l.var) n.inner)
+  in
+  {
+    par = n.par;
+    inner = Array.of_list n.inner;
+    body =
+      Array.of_list (List.map (compile_access prog layout vars n) n.body);
+    nvars = Array.length vars;
+    appi = Loop_nest.accesses_per_par_iter n;
+    compute_per_par_iter = Loop_nest.inner_trip n * n.compute_cycles;
+    iterations = Loop_nest.iterations n;
+  }
+
+let create prog layout =
+  {
+    prog;
+    layout;
+    nests =
+      Array.of_list (List.map (compile_nest prog layout) prog.Program.nests);
+  }
+
+let program t = t.prog
+let layout t = t.layout
+let num_nests t = Array.length t.nests
+
+let get_nest t nest =
+  if nest < 0 || nest >= Array.length t.nests then
+    invalid_arg "Trace: nest index out of range";
+  t.nests.(nest)
+
+let iterations t ~nest = (get_nest t nest).iterations
+let accesses_per_par_iter t ~nest = (get_nest t nest).appi
+let compute_cycles_per_par_iter t ~nest = (get_nest t nest).compute_per_par_iter
+
+let eval_terms coeffs vals nvars =
+  let acc = ref 0 in
+  for k = 0 to nvars - 1 do
+    acc := !acc + (Array.unsafe_get coeffs k * Array.unsafe_get vals k)
+  done;
+  !acc
+
+let addr_of cn vals = function
+  | Cdirect { base; coeffs; _ } -> base + eval_terms coeffs vals cn.nvars
+  | Cindirect
+      { abase; elem; alen; table; pconst; pcoeffs; oconst; ocoeffs; _ } ->
+      let pos = pconst + eval_terms pcoeffs vals cn.nvars in
+      if pos < 0 || pos >= Array.length table then
+        invalid_arg
+          (Printf.sprintf "Trace: index-table position %d out of bounds" pos);
+      let idx = Array.unsafe_get table pos + oconst + eval_terms ocoeffs vals cn.nvars in
+      if idx < 0 || idx >= alen then
+        invalid_arg
+          (Printf.sprintf "Trace: indirect element index %d out of bounds" idx);
+      abase + (elem * idx)
+
+let is_write = function
+  | Cdirect { write; _ } | Cindirect { write; _ } -> write
+
+(* Walk the inner loops of [cn] with the parallel variable fixed,
+   calling [f] per body access. *)
+let iter_inner cn vals f =
+  let ninner = Array.length cn.inner in
+  let body = cn.body in
+  let nbody = Array.length body in
+  let rec go d =
+    if d = ninner then
+      for b = 0 to nbody - 1 do
+        f (Array.unsafe_get body b)
+      done
+    else begin
+      let l = cn.inner.(d) in
+      let v = ref l.lo in
+      while !v < l.hi do
+        vals.(d + 2) <- !v;
+        go (d + 1);
+        v := !v + l.step
+      done
+    end
+  in
+  go 0
+
+let iter_range ?(step = 0) t ~nest ~lo ~hi f =
+  let cn = get_nest t nest in
+  if lo < 0 || hi > cn.iterations || lo > hi then
+    invalid_arg "Trace.iter_range: bad range";
+  let vals = Array.make cn.nvars 0 in
+  vals.(0) <- step;
+  for i = lo to hi - 1 do
+    vals.(1) <- cn.par.lo + (i * cn.par.step);
+    iter_inner cn vals (fun ca ->
+        f ~addr:(addr_of cn vals ca) ~write:(is_write ca))
+  done
+
+let fill_iteration ?(step = 0) t ~nest ~iter ~buf =
+  let cn = get_nest t nest in
+  if iter < 0 || iter >= cn.iterations then
+    invalid_arg "Trace.fill_iteration: iteration out of range";
+  if Array.length buf < cn.appi then
+    invalid_arg "Trace.fill_iteration: buffer too small";
+  let vals = Array.make cn.nvars 0 in
+  vals.(0) <- step;
+  vals.(1) <- cn.par.lo + (iter * cn.par.step);
+  let n = ref 0 in
+  iter_inner cn vals (fun ca ->
+      let addr = addr_of cn vals ca in
+      buf.(!n) <- (addr lsl 1) lor (if is_write ca then 1 else 0);
+      incr n);
+  !n
+
+let decode_addr enc = enc lsr 1
+let decode_write enc = enc land 1 = 1

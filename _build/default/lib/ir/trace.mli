@@ -1,0 +1,63 @@
+(** Deterministic expansion of programs into address streams.
+
+    [create] compiles a program against a memory layout: every reference
+    is lowered to precomputed base/stride form so address generation is
+    a few integer operations per access. Both the compile-time analysis
+    (CME, affinity construction), the runtime inspector, and the
+    simulator replay exactly the same stream, which is what makes
+    compile-time MAI/CAI estimates comparable to observed ones.
+
+    Addresses are *virtual*; callers translate through a
+    {!Mem.Page_table} where needed. *)
+
+type t
+
+val create : Program.t -> Layout.t -> t
+(** Compiles all nests. Raises [Invalid_argument] if a reference's
+    index table or array cannot be resolved (programs built with
+    {!Program.create} always can), or if an affine reference can
+    provably range outside its array over the loop and timing-step
+    bounds. *)
+
+val program : t -> Program.t
+
+val layout : t -> Layout.t
+
+val num_nests : t -> int
+
+val iterations : t -> nest:int -> int
+
+val accesses_per_par_iter : t -> nest:int -> int
+
+val compute_cycles_per_par_iter : t -> nest:int -> int
+
+val step_var : string
+(** The reserved timing-step variable name (["t"]): references may use
+    it to address per-step data slices; it is bound to the timing-loop
+    index during expansion. *)
+
+val iter_range :
+  ?step:int ->
+  t ->
+  nest:int ->
+  lo:int ->
+  hi:int ->
+  (addr:int -> write:bool -> unit) ->
+  unit
+(** [iter_range t ~nest ~lo ~hi f] calls [f] for every access issued by
+    parallel iterations [lo, hi) of [nest], in program order, with the
+    step variable bound to [step] (default 0). Raises
+    [Invalid_argument] on a range outside the nest's iteration space,
+    or if an indirection reads outside its index table. *)
+
+val fill_iteration :
+  ?step:int -> t -> nest:int -> iter:int -> buf:int array -> int
+(** [fill_iteration t ~nest ~iter ~buf] writes the encoded accesses of
+    one parallel iteration into [buf] and returns their count. Each
+    element encodes [(addr lsl 1) lor write_bit] — see {!decode_addr}
+    and {!decode_write}. [buf] must hold at least
+    [accesses_per_par_iter] elements. *)
+
+val decode_addr : int -> int
+
+val decode_write : int -> bool

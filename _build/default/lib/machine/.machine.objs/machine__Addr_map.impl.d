@@ -1,0 +1,1 @@
+lib/machine/addr_map.ml: Array Config Float Fun List Mem Noc

@@ -1,0 +1,1 @@
+lib/machine/engine.ml: Addr_map Array Cache Config Event_heap Fun Ir List Mem Noc Schedule Stats

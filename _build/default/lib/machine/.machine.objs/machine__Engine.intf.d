@@ -1,0 +1,1 @@
+lib/machine/engine.mli: Config Ir Mem Schedule Stats

@@ -1,0 +1,1 @@
+lib/machine/event_heap.mli:

@@ -1,0 +1,1 @@
+lib/machine/schedule.ml: Array Fun Int Ir List Printf

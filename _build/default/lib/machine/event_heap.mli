@@ -1,0 +1,22 @@
+(** Binary min-heap of (time, id) events — the engine's ready queue.
+
+    Specialised to unboxed ints for speed: the engine pushes one event
+    per shared-resource transaction. Ties are popped in unspecified
+    order (the simulator treats equal-time events as concurrent). *)
+
+type t
+
+val create : capacity:int -> t
+(** Initial capacity hint; the heap grows as needed. *)
+
+val push : t -> time:int -> id:int -> unit
+(** Raises [Invalid_argument] on a negative time. *)
+
+val pop : t -> (int * int) option
+(** Smallest-time event as [(time, id)], or [None] when empty. *)
+
+val peek_time : t -> int option
+
+val size : t -> int
+
+val is_empty : t -> bool

@@ -1,0 +1,52 @@
+type t = {
+  mutable cycles : int;
+  mutable overhead_cycles : int;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable llc_hits : int;
+  mutable llc_misses : int;
+  mutable net_latency : int;
+  mutable net_queueing : int;
+  mutable net_packets : int;
+  mutable net_hops : int;
+  mutable dram_row_hits : int;
+  mutable dram_row_misses : int;
+  mutable writebacks : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    overhead_cycles = 0;
+    accesses = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    llc_hits = 0;
+    llc_misses = 0;
+    net_latency = 0;
+    net_queueing = 0;
+    net_packets = 0;
+    net_hops = 0;
+    dram_row_hits = 0;
+    dram_row_misses = 0;
+    writebacks = 0;
+  }
+
+let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b
+
+let l1_hit_rate t = ratio t.l1_hits (t.l1_hits + t.l1_misses)
+let llc_hit_rate t = ratio t.llc_hits (t.llc_hits + t.llc_misses)
+let llc_miss_ratio t = ratio t.llc_misses t.accesses
+let avg_net_latency t = ratio t.net_latency t.net_packets
+let overhead_fraction t = ratio t.overhead_cycles t.cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles: %d (overhead %d)@ accesses: %d@ L1 hit rate: %.3f@ LLC \
+     hit rate: %.3f (miss ratio %.3f)@ network: %d packets, %d cycles \
+     (%.1f avg, %d queueing, %d hops)@ DRAM: %d row hits / %d misses@ \
+     writebacks: %d@]"
+    t.cycles t.overhead_cycles t.accesses (l1_hit_rate t) (llc_hit_rate t)
+    (llc_miss_ratio t) t.net_packets t.net_latency (avg_net_latency t)
+    t.net_queueing t.net_hops t.dram_row_hits t.dram_row_misses t.writebacks

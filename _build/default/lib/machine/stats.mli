@@ -1,0 +1,41 @@
+(** Simulation statistics.
+
+    Mutable counters filled by the engine. [cycles] is the modelled
+    execution time (barrier-synchronised, including any inspector
+    overhead charged by the harness); network counters separate total
+    latency from its queueing (congestion) component. *)
+
+type t = {
+  mutable cycles : int;
+  mutable overhead_cycles : int;  (** inspector / runtime-scheme cycles *)
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable llc_hits : int;
+  mutable llc_misses : int;
+  mutable net_latency : int;
+  mutable net_queueing : int;
+  mutable net_packets : int;
+  mutable net_hops : int;
+  mutable dram_row_hits : int;
+  mutable dram_row_misses : int;
+  mutable writebacks : int;
+}
+
+val create : unit -> t
+
+val l1_hit_rate : t -> float
+
+val llc_hit_rate : t -> float
+(** Hit rate among accesses that reached the LLC. *)
+
+val llc_miss_ratio : t -> float
+(** LLC misses over all memory accesses (the paper reports 13-37 %). *)
+
+val avg_net_latency : t -> float
+(** Mean packet latency in cycles. *)
+
+val overhead_fraction : t -> float
+(** [overhead_cycles / cycles]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type granularity =
+  | Page_grain
+  | Line_grain
+
+type cluster_mode =
+  | Mesh_default
+  | All_to_all
+  | Quadrant
+  | Snc4
+
+type t = {
+  mem_gran : granularity;
+  llc_gran : granularity;
+  cluster : cluster_mode;
+}
+
+let default =
+  { mem_gran = Page_grain; llc_gran = Line_grain; cluster = Mesh_default }
+
+let interleave g ~page_size ~line_size ~count addr =
+  if count <= 0 then invalid_arg "Distribution.interleave: bad count";
+  let unit_size =
+    match g with
+    | Page_grain -> page_size
+    | Line_grain -> line_size
+  in
+  addr / unit_size mod count
+
+let hashed ~page_size ~count addr =
+  if count <= 0 then invalid_arg "Distribution.hashed: bad count";
+  Address.mix (addr / page_size) mod count
+
+let pp_granularity ppf = function
+  | Page_grain -> Format.pp_print_string ppf "page"
+  | Line_grain -> Format.pp_print_string ppf "cache line"
+
+let pp_cluster ppf = function
+  | Mesh_default -> Format.pp_print_string ppf "mesh-default"
+  | All_to_all -> Format.pp_print_string ppf "all-to-all"
+  | Quadrant -> Format.pp_print_string ppf "quadrant"
+  | Snc4 -> Format.pp_print_string ppf "SNC-4"
+
+let pp ppf t =
+  Format.fprintf ppf "mem:%a llc:%a cluster:%a" pp_granularity t.mem_gran
+    pp_granularity t.llc_gran pp_cluster t.cluster

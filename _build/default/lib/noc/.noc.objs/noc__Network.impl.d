@@ -1,0 +1,1 @@
+lib/noc/network.ml: Array Routing Topology

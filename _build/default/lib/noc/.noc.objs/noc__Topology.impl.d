@@ -1,0 +1,1 @@
+lib/noc/topology.ml: Array Coord Float Format List

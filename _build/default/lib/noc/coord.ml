@@ -1,0 +1,20 @@
+type t = {
+  row : int;
+  col : int;
+}
+
+let make ~row ~col =
+  if row < 0 || col < 0 then
+    invalid_arg "Coord.make: negative component";
+  { row; col }
+
+let manhattan a b = abs (a.row - b.row) + abs (a.col - b.col)
+
+let equal a b = a.row = b.row && a.col = b.col
+
+let compare a b =
+  match Int.compare a.row b.row with
+  | 0 -> Int.compare a.col b.col
+  | c -> c
+
+let pp ppf { row; col } = Format.fprintf ppf "(%d,%d)" row col

@@ -1,0 +1,24 @@
+(** Two-dimensional mesh coordinates.
+
+    A coordinate names a node position on the on-chip mesh: [row] counts
+    from the top, [col] from the left, both starting at 0. *)
+
+type t = {
+  row : int;
+  col : int;
+}
+
+val make : row:int -> col:int -> t
+(** [make ~row ~col] builds a coordinate. Raises [Invalid_argument] if
+    either component is negative. *)
+
+val manhattan : t -> t -> int
+(** [manhattan a b] is the Manhattan (L1) distance between [a] and [b],
+    i.e. the number of mesh links an X-Y-routed packet traverses. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(row,col)]. *)

@@ -1,0 +1,86 @@
+type t = {
+  topo : Topology.t;
+  router_overhead : int;
+  ideal : bool;
+  free_at : int array;  (** per directed link: first cycle it is free *)
+  busy : int array;  (** per directed link: cumulative occupancy cycles *)
+  lat_hist : int array;  (** per-packet latency histogram, log2 buckets *)
+  mutable total_latency : int;
+  mutable total_queueing : int;
+  mutable packets : int;
+  mutable hops : int;
+}
+
+let create ?(ideal = false) ~router_overhead topo =
+  if router_overhead < 0 then
+    invalid_arg "Network.create: negative router overhead";
+  {
+    topo;
+    router_overhead;
+    ideal;
+    free_at = Array.make (Routing.num_links topo) 0;
+    busy = Array.make (Routing.num_links topo) 0;
+    lat_hist = Array.make 24 0;
+    total_latency = 0;
+    total_queueing = 0;
+    packets = 0;
+    hops = 0;
+  }
+
+let topology t = t.topo
+let is_ideal t = t.ideal
+
+let send t ~now ~src ~dst ~flits =
+  if flits <= 0 then invalid_arg "Network.send: non-positive flit count";
+  if t.ideal || src = dst then now
+  else begin
+    let time = ref now in
+    let queue = ref 0 in
+    let hops = ref 0 in
+    Routing.iter_path t.topo ~src ~dst (fun link ->
+        let start =
+          if t.free_at.(link) > !time then begin
+            queue := !queue + (t.free_at.(link) - !time);
+            t.free_at.(link)
+          end
+          else !time
+        in
+        t.free_at.(link) <- start + flits;
+        t.busy.(link) <- t.busy.(link) + flits;
+        time := start + t.router_overhead + 1;
+        incr hops);
+    (* Tail flits arrive [flits - 1] cycles after the head. *)
+    let arrival = !time + flits - 1 in
+    let lat = arrival - now in
+    let bucket =
+      let rec go b v = if v <= 1 || b = 23 then b else go (b + 1) (v / 2) in
+      go 0 lat
+    in
+    t.lat_hist.(bucket) <- t.lat_hist.(bucket) + 1;
+    t.total_latency <- t.total_latency + lat;
+    t.total_queueing <- t.total_queueing + !queue;
+    t.packets <- t.packets + 1;
+    t.hops <- t.hops + !hops;
+    arrival
+  end
+
+let latency_histogram t = Array.copy t.lat_hist
+
+let link_busy t = Array.copy t.busy
+
+let reset t =
+  Array.fill t.free_at 0 (Array.length t.free_at) 0;
+  Array.fill t.busy 0 (Array.length t.busy) 0;
+  Array.fill t.lat_hist 0 (Array.length t.lat_hist) 0;
+  t.total_latency <- 0;
+  t.total_queueing <- 0;
+  t.packets <- 0;
+  t.hops <- 0
+
+let total_latency t = t.total_latency
+let total_queueing t = t.total_queueing
+let packets_sent t = t.packets
+let total_hops t = t.hops
+
+let avg_latency t =
+  if t.packets = 0 then 0. else float_of_int t.total_latency /. float_of_int t.packets

@@ -1,0 +1,18 @@
+type kind =
+  | Request
+  | Data
+  | Writeback
+
+let flits kind ~line_size ~flit_bytes =
+  if line_size <= 0 || flit_bytes <= 0 then
+    invalid_arg "Packet.flits: non-positive size";
+  match kind with
+  | Request -> 1
+  | Data | Writeback -> 1 + ((line_size + flit_bytes - 1) / flit_bytes)
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Request -> "request"
+    | Data -> "data"
+    | Writeback -> "writeback")

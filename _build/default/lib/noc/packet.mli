@@ -1,0 +1,17 @@
+(** Packet kinds and their flit sizes.
+
+    The network transfers two physical packet shapes: short control
+    packets (read/write requests, one flit) and data packets carrying a
+    cache line (header flit plus the line payload). *)
+
+type kind =
+  | Request  (** miss request travelling towards an LLC bank or MC *)
+  | Data  (** cache-line-carrying response or fill *)
+  | Writeback  (** dirty-line eviction travelling towards an MC *)
+
+val flits : kind -> line_size:int -> flit_bytes:int -> int
+(** [flits kind ~line_size ~flit_bytes] is the number of flits the
+    packet occupies on a link: 1 for a request, [1 + ceil(line_size /
+    flit_bytes)] for data-carrying packets. *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,62 @@
+type direction =
+  | East
+  | West
+  | South
+  | North
+
+let direction_index = function
+  | East -> 0
+  | West -> 1
+  | South -> 2
+  | North -> 3
+
+let num_links t = 4 * Topology.num_nodes t
+
+let link_id t ~node dir =
+  if node < 0 || node >= Topology.num_nodes t then
+    invalid_arg "Routing.link_id: node out of range";
+  (node * 4) + direction_index dir
+
+let iter_path t ~src ~dst f =
+  let cols = Topology.cols t and rows = Topology.rows t in
+  let torus = Topology.kind t = Topology.Torus in
+  let src_row = src / cols and src_col = src mod cols in
+  let dst_row = dst / cols and dst_col = dst mod cols in
+  (* Per-dimension direction: on a torus, take the shorter way around
+     (ties go towards increasing coordinates). *)
+  let step_of cur target size =
+    if cur = target then 0
+    else if not torus then if cur < target then 1 else -1
+    else begin
+      let fwd = (target - cur + size) mod size in
+      if fwd <= size - fwd then 1 else -1
+    end
+  in
+  (* X first: walk columns. *)
+  let node = ref src in
+  let col = ref src_col in
+  while !col <> dst_col do
+    let step = step_of !col dst_col cols in
+    let dir = if step > 0 then East else West in
+    f ((!node * 4) + direction_index dir);
+    col := (!col + step + cols) mod cols;
+    node := (src_row * cols) + !col
+  done;
+  (* Then Y: walk rows. *)
+  let row = ref src_row in
+  while !row <> dst_row do
+    let step = step_of !row dst_row rows in
+    let dir = if step > 0 then South else North in
+    f ((!node * 4) + direction_index dir);
+    row := (!row + step + rows) mod rows;
+    node := (!row * cols) + dst_col
+  done
+
+let path t ~src ~dst =
+  let acc = ref [] in
+  iter_path t ~src ~dst (fun l -> acc := l :: !acc);
+  List.rev !acc
+
+let hop_count t ~src ~dst =
+  Topology.distance t (Topology.coord_of_node t src)
+    (Topology.coord_of_node t dst)

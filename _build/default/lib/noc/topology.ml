@@ -1,0 +1,95 @@
+type mc_placement =
+  | Corners
+  | Edge_midpoints
+  | Custom of Coord.t list
+
+type kind =
+  | Mesh
+  | Torus
+
+type t = {
+  rows : int;
+  cols : int;
+  knd : kind;
+  placement : mc_placement;
+  mcs : Coord.t array;
+}
+
+let mc_coords ~rows ~cols = function
+  | Corners ->
+      [|
+        Coord.make ~row:0 ~col:0;
+        Coord.make ~row:0 ~col:(cols - 1);
+        Coord.make ~row:(rows - 1) ~col:0;
+        Coord.make ~row:(rows - 1) ~col:(cols - 1);
+      |]
+  | Edge_midpoints ->
+      [|
+        Coord.make ~row:0 ~col:(cols / 2);
+        Coord.make ~row:(rows / 2) ~col:0;
+        Coord.make ~row:(rows / 2) ~col:(cols - 1);
+        Coord.make ~row:(rows - 1) ~col:(cols / 2);
+      |]
+  | Custom cs ->
+      if cs = [] then invalid_arg "Topology.create: empty MC placement";
+      List.iter
+        (fun (c : Coord.t) ->
+          if c.row >= rows || c.col >= cols then
+            invalid_arg "Topology.create: MC outside mesh")
+        cs;
+      Array.of_list cs
+
+let create ?(kind = Mesh) ~rows ~cols placement =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Topology.create: non-positive dimension";
+  { rows; cols; knd = kind; placement; mcs = mc_coords ~rows ~cols placement }
+
+let kind t = t.knd
+
+let wrap_delta d size = min d (size - d)
+
+let distance t (a : Coord.t) (b : Coord.t) =
+  match t.knd with
+  | Mesh -> Coord.manhattan a b
+  | Torus ->
+      wrap_delta (abs (a.Coord.row - b.Coord.row)) t.rows
+      + wrap_delta (abs (a.Coord.col - b.Coord.col)) t.cols
+
+let distance_f t (r, c) (b : Coord.t) =
+  let dr = Float.abs (r -. float_of_int b.Coord.row) in
+  let dc = Float.abs (c -. float_of_int b.Coord.col) in
+  match t.knd with
+  | Mesh -> dr +. dc
+  | Torus ->
+      Float.min dr (float_of_int t.rows -. dr)
+      +. Float.min dc (float_of_int t.cols -. dc)
+
+let rows t = t.rows
+let cols t = t.cols
+let num_nodes t = t.rows * t.cols
+let mc_placement t = t.placement
+let num_mcs t = Array.length t.mcs
+
+let node_of_coord t (c : Coord.t) = (c.row * t.cols) + c.col
+
+let coord_of_node t n = Coord.make ~row:(n / t.cols) ~col:(n mod t.cols)
+
+let mc_coord t k =
+  if k < 0 || k >= Array.length t.mcs then
+    invalid_arg "Topology.mc_coord: index out of range";
+  t.mcs.(k)
+
+let mc_node t k = node_of_coord t (mc_coord t k)
+
+let distance_to_mc t c k = distance t c (mc_coord t k)
+
+let pp ppf t =
+  Format.fprintf ppf "%dx%d %s, %d MCs at %a" t.rows t.cols
+    (match t.knd with
+    | Mesh -> "mesh"
+    | Torus -> "torus")
+    (num_mcs t)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Coord.pp)
+    (Array.to_list t.mcs)

@@ -1,0 +1,67 @@
+(** Mesh topology description.
+
+    A manycore is a [rows] x [cols] 2-D mesh of nodes; each node hosts a
+    core, private L1 caches, an L2 (LLC) bank and a router (paper,
+    Section 2, Figure 3). Memory controllers (MCs) attach to specific
+    routers; their placement is part of the topology and is exposed to
+    the compiler (the paper's "physical location information"). *)
+
+type mc_placement =
+  | Corners  (** one MC at each of the four mesh corners (paper default) *)
+  | Edge_midpoints
+      (** one MC at the middle of each mesh side (the paper's "different
+          MC placement" sensitivity experiment, Figure 9) *)
+  | Custom of Coord.t list  (** explicit MC router positions *)
+
+type kind =
+  | Mesh  (** plain 2-D mesh (the paper's machine) *)
+  | Torus
+      (** 2-D torus: edges wrap around, halving worst-case distances —
+          the kind of alternative topology Section 3.9 says the scheme
+          handles once positions are exposed to the compiler *)
+
+type t
+
+val create : ?kind:kind -> rows:int -> cols:int -> mc_placement -> t
+(** [create ~rows ~cols placement] builds a mesh (or torus with
+    [~kind:Torus]). Raises [Invalid_argument] if [rows] or [cols] is
+    not positive, or if a [Custom] placement lists a coordinate outside
+    the mesh. *)
+
+val kind : t -> kind
+
+val distance : t -> Coord.t -> Coord.t -> int
+(** Link distance between two coordinates under the topology's kind:
+    Manhattan on a mesh, wrap-aware on a torus. *)
+
+val distance_f : t -> float * float -> Coord.t -> float
+(** Same metric from a fractional position (e.g. a region centre) to a
+    node coordinate. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val num_nodes : t -> int
+
+val mc_placement : t -> mc_placement
+
+val num_mcs : t -> int
+
+val node_of_coord : t -> Coord.t -> int
+(** Row-major node id of a coordinate. *)
+
+val coord_of_node : t -> int -> Coord.t
+
+val mc_coord : t -> int -> Coord.t
+(** [mc_coord t k] is the router position of the [k]-th MC
+    (0-based). Raises [Invalid_argument] if [k] is out of range. *)
+
+val mc_node : t -> int -> int
+(** [mc_node t k] is the node id the [k]-th MC attaches to. *)
+
+val distance_to_mc : t -> Coord.t -> int -> int
+(** [distance_to_mc t c k] is the link distance from [c] to MC [k]
+    under the topology's kind. *)
+
+val pp : Format.formatter -> t -> unit

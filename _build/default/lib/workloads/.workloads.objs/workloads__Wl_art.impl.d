@@ -1,0 +1,1 @@
+lib/workloads/wl_art.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_cholesky.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_diff.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_equake.ml: Ir Wl_common

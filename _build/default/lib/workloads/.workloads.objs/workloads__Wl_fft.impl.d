@@ -1,0 +1,1 @@
+lib/workloads/wl_fft.ml: Ir Wl_common

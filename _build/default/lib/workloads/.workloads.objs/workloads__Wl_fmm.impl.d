@@ -1,0 +1,1 @@
+lib/workloads/wl_fmm.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_hpccg.ml: Ir Wl_common

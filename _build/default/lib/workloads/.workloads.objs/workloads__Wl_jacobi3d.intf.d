@@ -1,0 +1,1 @@
+lib/workloads/wl_jacobi3d.mli: Ir

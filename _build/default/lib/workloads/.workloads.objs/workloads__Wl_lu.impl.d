@@ -1,0 +1,1 @@
+lib/workloads/wl_lu.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_lulesh.ml: Ir Wl_common

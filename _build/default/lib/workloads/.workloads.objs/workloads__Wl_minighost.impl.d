@@ -1,0 +1,1 @@
+lib/workloads/wl_minighost.ml: Ir Wl_common

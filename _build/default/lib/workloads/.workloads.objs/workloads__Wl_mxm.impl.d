@@ -1,0 +1,1 @@
+lib/workloads/wl_mxm.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_nbf.ml: Ir Wl_common

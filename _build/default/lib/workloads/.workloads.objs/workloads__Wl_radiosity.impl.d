@@ -1,0 +1,1 @@
+lib/workloads/wl_radiosity.ml: Ir Wl_common

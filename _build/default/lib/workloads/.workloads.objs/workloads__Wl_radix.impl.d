@@ -1,0 +1,1 @@
+lib/workloads/wl_radix.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_raytrace.ml: Ir Wl_common

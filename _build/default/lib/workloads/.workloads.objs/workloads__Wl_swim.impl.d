@@ -1,0 +1,1 @@
+lib/workloads/wl_swim.ml: Ir List Wl_common

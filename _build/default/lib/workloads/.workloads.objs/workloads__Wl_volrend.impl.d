@@ -1,0 +1,1 @@
+lib/workloads/wl_volrend.ml: Ir Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/wl_water.ml: Ir Wl_common

@@ -1,0 +1,59 @@
+type entry = {
+  name : string;
+  kind : Ir.Program.kind;
+  description : string;
+  program : ?scale:float -> unit -> Ir.Program.t;
+}
+
+let entry name kind description program = { name; kind; description; program }
+
+let all =
+  [
+    entry "barnes" Ir.Program.Irregular "Barnes-Hut n-body tree walk"
+      Wl_barnes.program;
+    entry "fmm" Ir.Program.Irregular "fast multipole method" Wl_fmm.program;
+    entry "radiosity" Ir.Program.Irregular "hierarchical radiosity"
+      Wl_radiosity.program;
+    entry "raytrace" Ir.Program.Irregular "ray tracer" Wl_raytrace.program;
+    entry "volrend" Ir.Program.Irregular "volume renderer" Wl_volrend.program;
+    entry "water" Ir.Program.Irregular "water molecule dynamics"
+      Wl_water.program;
+    entry "cholesky" Ir.Program.Regular "Cholesky factorisation sweeps"
+      Wl_cholesky.program;
+    entry "fft" Ir.Program.Regular "radix-2 FFT stage + reorder"
+      Wl_fft.program;
+    entry "lu" Ir.Program.Regular "LU trailing-matrix update" Wl_lu.program;
+    entry "radix" Ir.Program.Irregular "radix sort scatter" Wl_radix.program;
+    entry "jacobi-3d" Ir.Program.Regular "7-point 3-D Jacobi stencil"
+      Wl_jacobi3d.program;
+    entry "lulesh" Ir.Program.Regular "hexahedral hydrodynamics gather"
+      Wl_lulesh.program;
+    entry "minighost" Ir.Program.Regular "3-D stencil with halo exchange"
+      Wl_minighost.program;
+    entry "swim" Ir.Program.Regular "shallow-water finite differences"
+      Wl_swim.program;
+    entry "mxm" Ir.Program.Regular "dense matrix multiplication"
+      Wl_mxm.program;
+    entry "art" Ir.Program.Regular "adaptive resonance network"
+      Wl_art.program;
+    entry "nbf" Ir.Program.Irregular "non-bonded force kernel" Wl_nbf.program;
+    entry "hpccg" Ir.Program.Irregular "conjugate gradient mini-app"
+      Wl_hpccg.program;
+    entry "equake" Ir.Program.Irregular "unstructured seismic simulation"
+      Wl_equake.program;
+    entry "moldyn" Ir.Program.Irregular "molecular dynamics neighbour list"
+      Wl_moldyn.program;
+    entry "diff" Ir.Program.Regular "explicit PDE solver" Wl_diff.program;
+  ]
+
+let names = List.map (fun e -> e.name) all
+
+let find_opt name = List.find_opt (fun e -> e.name = name) all
+
+let find name =
+  match find_opt name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let regular = List.filter (fun e -> e.kind = Ir.Program.Regular) all
+let irregular = List.filter (fun e -> e.kind = Ir.Program.Irregular) all

@@ -1,0 +1,28 @@
+(** The benchmark suite: the paper's 21 multi-threaded applications.
+
+    Regular applications (compile-time analysable) and irregular ones
+    (index-array based, inspector–executor) in the same proportions the
+    paper's Table 3 lists. Every entry is a synthetic kernel whose
+    access-pattern shape follows the original application — see
+    DESIGN.md for the substitution rationale. *)
+
+type entry = {
+  name : string;
+  kind : Ir.Program.kind;
+  description : string;
+  program : ?scale:float -> unit -> Ir.Program.t;
+}
+
+val all : entry list
+(** All 21 benchmarks, in the paper's Figure 7 order. *)
+
+val names : string list
+
+val find : string -> entry
+(** Raises [Not_found] for an unknown benchmark. *)
+
+val find_opt : string -> entry option
+
+val regular : entry list
+
+val irregular : entry list

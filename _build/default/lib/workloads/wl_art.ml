@@ -1,0 +1,35 @@
+(* art — adaptive-resonance image recognition (SPEC OMP).
+
+   The weight matrix is stored column-major (one column per F2 neuron,
+   pitch-padded rows — see {!Wl_common.pitch}): scanning a neuron\'s
+   weights walks a single LLC bank and MC. An output sweep streams the
+   activations. *)
+
+open Wl_common
+
+let base_kdim = 8
+
+let program ?(scale = 1.0) () =
+  (* Larger inputs deepen the weight window; neurons span one pitch. *)
+  let kdim = max 2 (scaled scale base_kdim) in
+  let n = pitch in
+  let w, wo = sliced "w" (pitch * kdim) ~steps:2 in
+  let y, yo = sliced "y" n ~steps:2 in
+  let k = v "k" in
+  let f2_scan =
+    Ir.Loop_nest.make ~name:"f2_scan"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "k" ~hi:kdim ]
+      ~compute_cycles:16
+      [ rd "w" (i_ +! (pitch *! k) +! wo); rd "xin" k; wr "y" (i_ +! yo) ]
+  in
+  let output =
+    Ir.Loop_nest.make ~name:"output_sweep"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:12
+      [ rd "y" (i_ +! yo); wr "y" (i_ +! yo) ]
+  in
+  Ir.Program.create ~name:"art" ~kind:Ir.Program.Regular
+    ~arrays:[ w; arr "xin" kdim; y ]
+    ~time_steps:2
+    [ f2_scan; output ]

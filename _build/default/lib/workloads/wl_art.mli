@@ -1,0 +1,12 @@
+(** art — adaptive resonance network (SPEC OMP).
+
+    Regular: column-major weight matrix scans (one bank and MC per
+    neuron column) plus an activation sweep.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

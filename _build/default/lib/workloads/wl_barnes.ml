@@ -1,0 +1,50 @@
+(* barnes — Barnes-Hut n-body (Splash-2).
+
+   Tree-walk interactions: each body reads a neighbour list that mixes
+   nearby bodies with far tree cells (35 % long-range links), over
+   *misaligned* per-step data slices. Both properties limit how much
+   any mapping can localise — the paper also reports barnes among its
+   smallest winners. *)
+
+open Wl_common
+
+let degree = 8
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = misaligned (scaled scale 6144) in
+  let r = rng ~seed:11 in
+  let nbr =
+    clustered_table ~rng:r ~n ~degree ~spread:3072 ~long_range:0.35 ~target:n
+  in
+  let pos, po = sliced "pos" n ~steps in
+  let acc, ao = sliced "acc" n ~steps in
+  let vel, vo = sliced "vel" n ~steps in
+  let d = v "d" in
+  let forces =
+    Ir.Loop_nest.make ~name:"tree_walk"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:28
+      [
+        rd "pos" (i_ +! po);
+        rd_at "pos" ~offset:po ~table:"nbr" ~pos:((degree *! i_) +! d);
+        wr "acc" (i_ +! ao);
+      ]
+  in
+  let advance =
+    Ir.Loop_nest.make ~name:"advance"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:20
+      [
+        rd "acc" (i_ +! ao);
+        rd "vel" (i_ +! vo);
+        wr "vel" (i_ +! vo);
+        wr "pos" (i_ +! po);
+      ]
+  in
+  Ir.Program.create ~name:"barnes" ~kind:Ir.Program.Irregular
+    ~arrays:[ pos; acc; vel ]
+    ~index_tables:[ ("nbr", nbr) ]
+    ~time_steps:steps
+    [ forces; advance ]

@@ -1,0 +1,13 @@
+(** barnes — Barnes-Hut n-body tree walk (Splash-2).
+
+    Irregular: clustered neighbour lists with 35 % long-range tree-cell
+    links over misaligned per-step slices; weakly localisable (one of
+    the paper's smallest winners).
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

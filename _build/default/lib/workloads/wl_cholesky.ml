@@ -1,0 +1,38 @@
+(* cholesky — blocked factorisation sweeps.
+
+   The trailing-matrix update streams row-major; the column scaling
+   walks matrix columns of the pitch-padded layout (one LLC bank and
+   one MC per column — see {!Wl_common.pitch}), reusing the lines the
+   update just brought into the LLC. *)
+
+open Wl_common
+
+let base_rows = 6
+
+let program ?(scale = 1.0) () =
+  let rows = max 2 (scaled scale base_rows) in
+  let cols = pitch in
+  let n = pitch * rows in
+  let m, mo = sliced "M" n ~steps:2 in
+  let dg, dgo = sliced "D" pitch ~steps:2 in
+  let j = v "j" in
+  let update =
+    Ir.Loop_nest.make ~name:"trailing_update"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:20
+      [ rd "M" (i_ +! mo); wr "M" (i_ +! mo) ]
+  in
+  let scale_columns =
+    Ir.Loop_nest.make ~name:"scale_columns"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:cols)
+      ~inner:[ Ir.Loop_nest.loop "j" ~hi:rows ]
+      ~compute_cycles:16
+      [
+        rd "D" (i_ +! dgo);
+        rd "M" (i_ +! (pitch *! j) +! mo);
+        wr "M" (i_ +! (pitch *! j) +! mo);
+      ]
+  in
+  Ir.Program.create ~name:"cholesky" ~kind:Ir.Program.Regular
+    ~arrays:[ m; dg ] ~time_steps:2
+    [ update; scale_columns ]

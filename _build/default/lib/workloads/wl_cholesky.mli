@@ -1,0 +1,12 @@
+(** cholesky — blocked Cholesky factorisation sweeps.
+
+    Regular: a row-major trailing update followed by a pitch-aligned
+    column scaling (one LLC bank and MC per column).
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,42 @@
+(* diff — explicit finite-difference PDE solver (the paper's
+   differential-equation solver).
+
+   Two alternating three-point sweeps (predictor/corrector) over
+   aligned 1-D fields plus a coefficient array. *)
+
+open Wl_common
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 24576) in
+  let len = aligned (n + 64) in
+  let a, ao = sliced "a" len ~steps:2 in
+  let b, bo = sliced "b" len ~steps:2 in
+  let coef, cfo = sliced "coef" len ~steps:2 in
+  let predict =
+    Ir.Loop_nest.make ~name:"predict"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:24
+      [
+        rd "a" (i_ +! ao);
+        rd "a" (i_ +! c 1 +! ao);
+        rd "a" (i_ +! c 2 +! ao);
+        rd "coef" (i_ +! cfo);
+        wr "b" (i_ +! c 1 +! bo);
+      ]
+  in
+  let correct =
+    Ir.Loop_nest.make ~name:"correct"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:24
+      [
+        rd "b" (i_ +! bo);
+        rd "b" (i_ +! c 1 +! bo);
+        rd "b" (i_ +! c 2 +! bo);
+        rd "coef" (i_ +! cfo);
+        wr "a" (i_ +! c 1 +! ao);
+      ]
+  in
+  Ir.Program.create ~name:"diff" ~kind:Ir.Program.Regular
+    ~arrays:[ a; b; coef ]
+    ~time_steps:2
+    [ predict; correct ]

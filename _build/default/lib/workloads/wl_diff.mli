@@ -1,0 +1,12 @@
+(** diff — explicit finite-difference PDE solver.
+
+    Regular: alternating three-point predictor/corrector sweeps over
+    aligned 1-D fields.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,48 @@
+(* equake — earthquake simulation on an unstructured mesh (SPEC OMP).
+
+   Element-to-node gathers over an unstructured tetrahedral mesh:
+   misaligned per-step slices and 45 % long-range connectivity (the
+   mesh was never bandwidth-reduced) leave little locality for any
+   mapping — the paper reports equake among its smallest
+   improvements. *)
+
+open Wl_common
+
+let degree = 8
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let elems = misaligned (scaled scale 6144) in
+  let nodes = misaligned (scaled scale 8192) in
+  let r = rng ~seed:79 in
+  let conn =
+    clustered_table ~rng:r ~n:elems ~degree ~spread:(nodes / 2)
+      ~long_range:0.45 ~target:nodes
+  in
+  let disp, dpo = sliced "disp" nodes ~steps in
+  let stiff, sto = sliced "stiff" (elems * degree) ~steps in
+  let eforce, efo = sliced "eforce" elems ~steps in
+  let vel, vo = sliced "vel" elems ~steps in
+  let d = v "d" in
+  let gather =
+    Ir.Loop_nest.make ~name:"element_gather"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:elems)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:20
+      [
+        rd_at "disp" ~offset:dpo ~table:"conn" ~pos:((degree *! i_) +! d);
+        rd "stiff" ((degree *! i_) +! d +! sto);
+        wr "eforce" (i_ +! efo);
+      ]
+  in
+  let smooth =
+    Ir.Loop_nest.make ~name:"time_integrate"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:elems)
+      ~compute_cycles:16
+      [ rd "eforce" (i_ +! efo); wr "vel" (i_ +! vo) ]
+  in
+  Ir.Program.create ~name:"equake" ~kind:Ir.Program.Irregular
+    ~arrays:[ disp; stiff; eforce; vel ]
+    ~index_tables:[ ("conn", conn) ]
+    ~time_steps:steps
+    [ gather; smooth ]

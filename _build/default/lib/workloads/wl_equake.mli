@@ -1,0 +1,12 @@
+(** equake — unstructured seismic simulation (SPEC OMP).
+
+    Irregular: element-to-node gathers over a never-renumbered mesh
+    (45 % long-range) on misaligned slices; weakly localisable.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

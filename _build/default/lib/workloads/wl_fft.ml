@@ -1,0 +1,44 @@
+(* fft — butterfly stage plus transpose-style reorder.
+
+   Nest 1 is one radix-2 butterfly stage: each iteration touches
+   (re, im) at [i] and at [i + n/2]; the half-array offset is a whole
+   number of MC-interleave periods, so both ends of a butterfly share
+   an MC. Nest 2 is the strided reorder pass with poor spatial
+   locality, typical of FFT shuffles. *)
+
+open Wl_common
+
+let program ?(scale = 1.0) () =
+  let half = aligned (scaled scale 16384) in
+  let n = 2 * half in
+  let re, reo = sliced "re" n ~steps:2 in
+  let im, imo = sliced "im" n ~steps:2 in
+  let re2, re2o = sliced "re2" half ~steps:2 in
+  let im2, im2o = sliced "im2" half ~steps:2 in
+  let butterfly =
+    Ir.Loop_nest.make ~name:"butterfly"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:half)
+      ~compute_cycles:32
+      [
+        rd "re" (i_ +! reo);
+        rd "im" (i_ +! imo);
+        rd "re" (i_ +! c half +! reo);
+        rd "im" (i_ +! c half +! imo);
+        wr "re" (i_ +! reo);
+        wr "im" (i_ +! imo);
+      ]
+  in
+  let reorder =
+    Ir.Loop_nest.make ~name:"reorder"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:half)
+      ~compute_cycles:16
+      [
+        rd "re" ((2 *! i_) +! reo);
+        rd "im" ((2 *! i_) +! imo);
+        wr "re2" (i_ +! re2o);
+        wr "im2" (i_ +! im2o);
+      ]
+  in
+  Ir.Program.create ~name:"fft" ~kind:Ir.Program.Regular
+    ~arrays:[ re; im; re2; im2 ]
+    ~time_steps:2 [ butterfly; reorder ]

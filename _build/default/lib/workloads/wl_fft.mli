@@ -1,0 +1,12 @@
+(** fft — radix-2 butterfly stage and reorder pass.
+
+    Regular: butterflies touch both array halves (whole interleave
+    periods apart) plus a strided reorder with poor spatial locality.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,53 @@
+(* fmm — fast multipole method (Splash-2).
+
+   Two interaction lists per body: a tight near-field list (local
+   cells) and a sparser far-field list reaching across the domain.
+   The near list dominates and is localisable; the far list is not. *)
+
+open Wl_common
+
+let near_deg = 6
+let far_deg = 4
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 6144) in
+  let r = rng ~seed:23 in
+  let near =
+    clustered_table ~rng:r ~n ~degree:near_deg ~spread:192 ~long_range:0.05
+      ~target:n
+  in
+  let far =
+    clustered_table ~rng:r ~n ~degree:far_deg ~spread:(n / 2) ~long_range:0.5
+      ~target:n
+  in
+  let pos, po = sliced "pos" n ~steps in
+  let mpole, mo = sliced "mpole" n ~steps in
+  let acc, ao = sliced "acc" n ~steps in
+  let d = v "d" in
+  let near_field =
+    Ir.Loop_nest.make ~name:"near_field"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:near_deg ]
+      ~compute_cycles:24
+      [
+        rd "pos" (i_ +! po);
+        rd_at "pos" ~offset:po ~table:"near" ~pos:((near_deg *! i_) +! d);
+        wr "acc" (i_ +! ao);
+      ]
+  in
+  let far_field =
+    Ir.Loop_nest.make ~name:"far_field"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:far_deg ]
+      ~compute_cycles:32
+      [
+        rd_at "mpole" ~offset:mo ~table:"far" ~pos:((far_deg *! i_) +! d);
+        wr "acc" (i_ +! ao);
+      ]
+  in
+  Ir.Program.create ~name:"fmm" ~kind:Ir.Program.Irregular
+    ~arrays:[ pos; mpole; acc ]
+    ~index_tables:[ ("near", near); ("far", far) ]
+    ~time_steps:steps
+    [ near_field; far_field ]

@@ -1,0 +1,12 @@
+(** fmm — fast multipole method (Splash-2).
+
+    Irregular: a tight near-field interaction list plus a sparse
+    far-field list; the near field dominates and localises.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

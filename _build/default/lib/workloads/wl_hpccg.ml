@@ -1,0 +1,52 @@
+(* hpccg — conjugate-gradient mini-app (Mantevo).
+
+   The sparse matrix-vector product reads a banded CSR structure (27-pt
+   stencil flattened: nearly diagonal index arrays), and the CG vector
+   updates are pure streaming — regular nests inside an irregular
+   application, exactly the mixed case the paper's footnote 7
+   describes. *)
+
+open Wl_common
+
+let degree = 8
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 8192) in
+  let r = rng ~seed:73 in
+  let cols =
+    clustered_table ~rng:r ~n ~degree ~spread:48 ~long_range:0.02 ~target:n
+  in
+  let aval, av = sliced "aval" (n * degree) ~steps in
+  let pvec, po = sliced "p" n ~steps in
+  let qvec, qo = sliced "q" n ~steps in
+  let xvec, xo = sliced "xvec" n ~steps in
+  let d = v "d" in
+  let spmv =
+    Ir.Loop_nest.make ~name:"spmv"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:12
+      [
+        rd "aval" ((degree *! i_) +! d +! av);
+        rd_at "p" ~offset:po ~table:"cols" ~pos:((degree *! i_) +! d);
+        wr "q" (i_ +! qo);
+      ]
+  in
+  let axpy =
+    Ir.Loop_nest.make ~name:"axpy"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:12
+      [
+        rd "q" (i_ +! qo);
+        rd "xvec" (i_ +! xo);
+        wr "xvec" (i_ +! xo);
+        rd "p" (i_ +! po);
+        wr "p" (i_ +! po);
+      ]
+  in
+  Ir.Program.create ~name:"hpccg" ~kind:Ir.Program.Irregular
+    ~arrays:[ aval; pvec; qvec; xvec ]
+    ~index_tables:[ ("cols", cols) ]
+    ~time_steps:steps
+    [ spmv; axpy ]

@@ -1,0 +1,12 @@
+(** hpccg — conjugate-gradient mini-app (Mantevo).
+
+    Irregular: banded CSR sparse matrix-vector product (nearly diagonal
+    index arrays) plus regular vector updates.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

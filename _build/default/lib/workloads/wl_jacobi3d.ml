@@ -1,0 +1,37 @@
+(* jacobi-3d — 7-point 3-D Jacobi relaxation, pencil traversal.
+
+   The grid is laid out plane-major with a pitch-aligned plane size
+   (conflict-avoiding padding); the parallel loop ranges over the
+   points of a plane and the inner loop walks the z-pencil. The +/-z
+   neighbours are whole interleave periods away, so every access of an
+   iteration stays on (nearly) the same MC and LLC bank. *)
+
+open Wl_common
+
+let nx = 32
+let planes = 4
+
+let program ?(scale = 1.0) () =
+  let plane = aligned (scaled scale pitch) in
+  let n = plane * (planes + 2) in
+  let grid, go = sliced "grid" n ~steps:2 in
+  let out, oo = sliced "out" n ~steps:2 in
+  let z = v "z" in
+  let at d = i_ +! (plane *! z) +! c (plane + d) +! go in
+  let nest =
+    Ir.Loop_nest.make ~name:"relax_pencil"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:(plane - nx - 1))
+      ~inner:[ Ir.Loop_nest.loop "z" ~hi:planes ]
+      ~compute_cycles:18
+      [
+        rd "grid" (at 0);
+        rd "grid" (at 1);
+        rd "grid" (at nx);
+        rd "grid" (at (-plane));
+        rd "grid" (at plane);
+        wr "out" (i_ +! (plane *! z) +! c plane +! oo);
+      ]
+  in
+  Ir.Program.create ~name:"jacobi-3d" ~kind:Ir.Program.Regular
+    ~arrays:[ grid; out ]
+    ~time_steps:2 [ nest ]

@@ -1,0 +1,12 @@
+(** jacobi-3d — 7-point 3-D Jacobi relaxation.
+
+    Regular: pencil traversal over a pitch-padded plane-major grid; the
+    z-neighbours are whole interleave periods away.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,38 @@
+(* lu — right-looking LU factorisation.
+
+   The trailing-matrix update streams the padded matrix row-major; the
+   pivot-column elimination then walks columns (single LLC bank and MC
+   per column, see {!Wl_common.pitch}), hitting the lines the update
+   left in the LLC. *)
+
+open Wl_common
+
+let base_rows = 6
+
+let program ?(scale = 1.0) () =
+  let rows = max 2 (scaled scale base_rows) in
+  let cols = pitch in
+  let n = pitch * rows in
+  let a, ao = sliced "A" n ~steps:2 in
+  let l, lo = sliced "L" pitch ~steps:2 in
+  let j = v "j" in
+  let update =
+    Ir.Loop_nest.make ~name:"trailing_update"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:20
+      [ rd "A" (i_ +! ao); wr "A" (i_ +! ao) ]
+  in
+  let eliminate =
+    Ir.Loop_nest.make ~name:"column_eliminate"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:cols)
+      ~inner:[ Ir.Loop_nest.loop "j" ~hi:rows ]
+      ~compute_cycles:16
+      [
+        rd "L" (i_ +! lo);
+        rd "A" (i_ +! (pitch *! j) +! ao);
+        wr "A" (i_ +! (pitch *! j) +! ao);
+      ]
+  in
+  Ir.Program.create ~name:"lu" ~kind:Ir.Program.Regular ~arrays:[ a; l ]
+    ~time_steps:2
+    [ update; eliminate ]

@@ -1,0 +1,12 @@
+(** lu — right-looking LU factorisation.
+
+    Regular: row-major trailing update plus a pitch-aligned pivot-column
+    elimination.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,50 @@
+(* lulesh — structured hexahedral hydrodynamics (CORAL).
+
+   The element loop gathers the eight corner nodes of each hex (affine
+   offsets on the structured mesh), reads the element volume, and
+   writes the force. High access count per iteration over aligned
+   arrays: the paper's single biggest beneficiary, reproduced here as
+   the most localisable kernel of the suite. *)
+
+open Wl_common
+
+let nx = 32
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 24576) in
+  (* The structured mesh is pitch-padded plane-major: the +/-z corner
+     offsets are whole interleave periods, so a hex's eight corners sit
+     on at most three nearby banks and one MC. *)
+  let nxy = pitch in
+  let nodes = aligned (n + nxy + nx + 64) in
+  let x, xo = sliced "x" nodes ~steps:2 in
+  let vol, vlo = sliced "vol" n ~steps:2 in
+  let force, fco = sliced "force" n ~steps:2 in
+  let corner d = i_ +! c d +! xo in
+  let gather =
+    Ir.Loop_nest.make ~name:"calc_force"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:48
+      [
+        rd "x" (corner 0);
+        rd "x" (corner 1);
+        rd "x" (corner nx);
+        rd "x" (corner (nx + 1));
+        rd "x" (corner nxy);
+        rd "x" (corner (nxy + 1));
+        rd "x" (corner (nxy + nx));
+        rd "x" (corner (nxy + nx + 1));
+        rd "vol" (i_ +! vlo);
+        wr "force" (i_ +! fco);
+      ]
+  in
+  let integrate =
+    Ir.Loop_nest.make ~name:"integrate"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:20
+      [ rd "force" (i_ +! fco); rd "x" (i_ +! xo); wr "x" (i_ +! xo) ]
+  in
+  Ir.Program.create ~name:"lulesh" ~kind:Ir.Program.Regular
+    ~arrays:[ x; vol; force ]
+    ~time_steps:2
+    [ gather; integrate ]

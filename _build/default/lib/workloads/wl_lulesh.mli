@@ -1,0 +1,12 @@
+(** lulesh — hexahedral hydrodynamics gather (CORAL).
+
+    Regular: eight-corner gathers on a pitch-padded structured mesh;
+    the suite's most localisable kernel (the paper's biggest winner).
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,49 @@
+(* minighost — 3-D stencil with halo exchange, pencil traversal.
+
+   Same pitch-aligned pencil sweep as jacobi-3d, plus pack/unpack nests
+   that stream the boundary faces into exchange buffers. *)
+
+open Wl_common
+
+let nx = 32
+let planes = 3
+
+let program ?(scale = 1.0) () =
+  let plane = aligned (scaled scale pitch) in
+  let n = plane * (planes + 2) in
+  let g, go = sliced "g" n ~steps:2 in
+  let gout, gouto = sliced "gout" n ~steps:2 in
+  let faces = max 256 (plane / nx) in
+  let z = v "z" in
+  let at d = i_ +! (plane *! z) +! c (plane + d) +! go in
+  let sweep =
+    Ir.Loop_nest.make ~name:"stencil_pencil"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:(plane - nx - 1))
+      ~inner:[ Ir.Loop_nest.loop "z" ~hi:planes ]
+      ~compute_cycles:20
+      [
+        rd "g" (at 0);
+        rd "g" (at 1);
+        rd "g" (at nx);
+        rd "g" (at (-plane));
+        rd "g" (at plane);
+        wr "gout" (i_ +! (plane *! z) +! c plane +! gouto);
+      ]
+  in
+  let pack =
+    Ir.Loop_nest.make ~name:"pack_halo"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:faces)
+      ~compute_cycles:8
+      [ rd "gout" ((nx *! i_) +! gouto); wr "sendbuf" i_ ]
+  in
+  let unpack =
+    Ir.Loop_nest.make ~name:"unpack_halo"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:faces)
+      ~compute_cycles:8
+      [ rd "recvbuf" i_; wr "g" ((nx *! i_) +! go) ]
+  in
+  Ir.Program.create ~name:"minighost" ~kind:Ir.Program.Regular
+    ~arrays:
+      [ g; gout; arr "sendbuf" (faces + 64); arr "recvbuf" (faces + 64) ]
+    ~time_steps:2
+    [ sweep; pack; unpack ]

@@ -1,0 +1,11 @@
+(** minighost — 3-D stencil with halo exchange (Mantevo).
+
+    Regular: pencil stencil sweep plus strided halo pack/unpack nests.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

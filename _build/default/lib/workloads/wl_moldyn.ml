@@ -1,0 +1,50 @@
+(* moldyn — molecular dynamics with Verlet neighbour lists (Han &
+   Tseng).
+
+   A dense, extremely local pair list (cell-sorted particles, 2 %
+   long-range) over aligned slices: after inspection, almost all of a
+   set's traffic binds to one MC — the paper reports moldyn among its
+   biggest winners. *)
+
+open Wl_common
+
+let degree = 16
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 5120) in
+  let r = rng ~seed:83 in
+  let nbr =
+    clustered_table ~rng:r ~n ~degree ~spread:96 ~long_range:0.02 ~target:n
+  in
+  let x, xo = sliced "x" n ~steps in
+  let f, fo = sliced "f" n ~steps in
+  let vold, vo = sliced "vold" n ~steps in
+  let d = v "d" in
+  let forces =
+    Ir.Loop_nest.make ~name:"compute_forces"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:20
+      [
+        rd "x" (i_ +! xo);
+        rd_at "x" ~offset:xo ~table:"nbr" ~pos:((degree *! i_) +! d);
+        wr "f" (i_ +! fo);
+      ]
+  in
+  let integrate =
+    Ir.Loop_nest.make ~name:"verlet_update"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:16
+      [
+        rd "f" (i_ +! fo);
+        rd "vold" (i_ +! vo);
+        wr "vold" (i_ +! vo);
+        wr "x" (i_ +! xo);
+      ]
+  in
+  Ir.Program.create ~name:"moldyn" ~kind:Ir.Program.Irregular
+    ~arrays:[ x; f; vold ]
+    ~index_tables:[ ("nbr", nbr) ]
+    ~time_steps:steps
+    [ forces; integrate ]

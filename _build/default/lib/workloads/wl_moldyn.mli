@@ -1,0 +1,12 @@
+(** moldyn — molecular dynamics with Verlet lists (Han & Tseng).
+
+    Irregular: dense, cell-sorted neighbour lists (2 % long-range) over
+    aligned slices; one of the paper's biggest winners.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,31 @@
+(* mxm — dense matrix multiplication (the paper's "mxm").
+
+   The parallel loop ranges over output rows; the inner loops stream a
+   row block of A (unit stride), reuse a small B tile temporally and
+   accumulate into C. Mostly streaming with strong L1 temporal reuse —
+   regular and highly localisable. *)
+
+open Wl_common
+
+let kdim = 16
+let jdim = 4
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 1024) in
+  let a, ao = sliced "A" (n * kdim) ~steps:2 in
+  let b = arr "B" (kdim * jdim) in  (* small hot tile, L1-resident *)
+  let c_m, co = sliced "C" (n * jdim) ~steps:2 in
+  let j = v "j" and k = v "k" in
+  let nest =
+    Ir.Loop_nest.make ~name:"row_block"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "j" ~hi:jdim; Ir.Loop_nest.loop "k" ~hi:kdim ]
+      ~compute_cycles:12
+      [
+        rd "A" ((kdim *! i_) +! k +! ao);
+        rd "B" ((jdim *! k) +! j);
+        wr "C" ((jdim *! i_) +! j +! co);
+      ]
+  in
+  Ir.Program.create ~name:"mxm" ~kind:Ir.Program.Regular
+    ~arrays:[ a; b; c_m ] ~time_steps:2 [ nest ]

@@ -1,0 +1,12 @@
+(** mxm — dense matrix multiplication.
+
+    Regular: streaming row blocks of A with an L1-resident B tile and
+    accumulation into C.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

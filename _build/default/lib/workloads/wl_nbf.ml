@@ -1,0 +1,42 @@
+(* nbf — non-bonded force kernel (the MOLDYN/NBF pair of Han & Tseng).
+
+   A cutoff-radius pair list with tight spatial locality drives a
+   gather/accumulate over particle positions, followed by a coordinate
+   update sweep. *)
+
+open Wl_common
+
+let degree = 12
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 6144) in
+  let r = rng ~seed:71 in
+  let pairs =
+    clustered_table ~rng:r ~n ~degree ~spread:288 ~long_range:0.08 ~target:n
+  in
+  let x, xo = sliced "x" n ~steps in
+  let f, fo = sliced "f" n ~steps in
+  let d = v "d" in
+  let forces =
+    Ir.Loop_nest.make ~name:"nonbonded"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:24
+      [
+        rd "x" (i_ +! xo);
+        rd_at "x" ~offset:xo ~table:"pairs" ~pos:((degree *! i_) +! d);
+        wr "f" (i_ +! fo);
+      ]
+  in
+  let update =
+    Ir.Loop_nest.make ~name:"update_coords"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:16
+      [ rd "f" (i_ +! fo); rd "x" (i_ +! xo); wr "x" (i_ +! xo) ]
+  in
+  Ir.Program.create ~name:"nbf" ~kind:Ir.Program.Irregular
+    ~arrays:[ x; f ]
+    ~index_tables:[ ("pairs", pairs) ]
+    ~time_steps:steps
+    [ forces; update ]

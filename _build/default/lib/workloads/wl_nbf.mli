@@ -1,0 +1,12 @@
+(** nbf — non-bonded force kernel (Han & Tseng).
+
+    Irregular: tight cutoff-radius pair lists driving gathers over
+    particle positions, plus a coordinate update.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

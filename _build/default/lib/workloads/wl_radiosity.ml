@@ -1,0 +1,43 @@
+(* radiosity — hierarchical radiosity (Splash-2).
+
+   Patch-to-patch visibility interactions: each patch samples a dozen
+   other patches with only loose spatial structure (scene-graph order,
+   25 % long-range), plus an energy-redistribution sweep. *)
+
+open Wl_common
+
+let degree = 12
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 5120) in
+  let r = rng ~seed:37 in
+  let vis =
+    clustered_table ~rng:r ~n ~degree ~spread:1536 ~long_range:0.25 ~target:n
+  in
+  let rad, ro = sliced "rad" n ~steps in
+  let ff, fo = sliced "ff" n ~steps in
+  let gathered, go = sliced "gathered" n ~steps in
+  let d = v "d" in
+  let gather =
+    Ir.Loop_nest.make ~name:"gather_radiosity"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:20
+      [
+        rd_at "rad" ~offset:ro ~table:"vis" ~pos:((degree *! i_) +! d);
+        rd_at "ff" ~offset:fo ~table:"vis" ~pos:((degree *! i_) +! d);
+        wr "gathered" (i_ +! go);
+      ]
+  in
+  let shoot =
+    Ir.Loop_nest.make ~name:"shoot"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:16
+      [ rd "gathered" (i_ +! go); rd "rad" (i_ +! ro); wr "rad" (i_ +! ro) ]
+  in
+  Ir.Program.create ~name:"radiosity" ~kind:Ir.Program.Irregular
+    ~arrays:[ rad; ff; gathered ]
+    ~index_tables:[ ("vis", vis) ]
+    ~time_steps:steps
+    [ gather; shoot ]

@@ -1,0 +1,12 @@
+(** radiosity — hierarchical radiosity (Splash-2).
+
+    Irregular: patch-to-patch visibility sampling with loose spatial
+    structure (25 % long-range) plus an energy redistribution sweep.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,42 @@
+(* radix — radix sort (Splash-2).
+
+   The counting pass scatters histogram increments by key digit; the
+   permutation pass writes each key to its destination bucket. Keys are
+   bucket-local ([blocked_table]), so consecutive iteration sets target
+   consecutive key ranges — localisable scatter traffic. A fresh key
+   batch arrives every timing step (outer sort passes). *)
+
+open Wl_common
+
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 16384) in
+  let buckets = aligned (scaled scale 4096) in
+  let r = rng ~seed:67 in
+  let digit = blocked_table ~rng:r ~n ~degree:1 ~block:512 ~target:buckets in
+  let rank = blocked_table ~rng:r ~n ~degree:1 ~block:2048 ~target:n in
+  let keys, ko = sliced "keys" n ~steps in
+  let hist, ho = sliced "hist" buckets ~steps in
+  let sorted, so = sliced "sorted" n ~steps in
+  let count =
+    Ir.Loop_nest.make ~name:"count_digits"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:12
+      [ rd "keys" (i_ +! ko); wr_at "hist" ~offset:ho ~table:"digit" ~pos:i_ ]
+  in
+  let permute =
+    Ir.Loop_nest.make ~name:"permute"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:12
+      [
+        rd "keys" (i_ +! ko);
+        rd_at "hist" ~offset:ho ~table:"digit" ~pos:i_;
+        wr_at "sorted" ~offset:so ~table:"rank" ~pos:i_;
+      ]
+  in
+  Ir.Program.create ~name:"radix" ~kind:Ir.Program.Irregular
+    ~arrays:[ keys; hist; sorted ]
+    ~index_tables:[ ("digit", digit); ("rank", rank) ]
+    ~time_steps:steps
+    [ count; permute ]

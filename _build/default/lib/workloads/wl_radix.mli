@@ -1,0 +1,12 @@
+(** radix — radix sort (Splash-2).
+
+    Irregular: bucket-local histogram scatter and permutation writes;
+    fresh key batches per timing step.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

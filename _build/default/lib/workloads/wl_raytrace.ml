@@ -1,0 +1,47 @@
+(* raytrace — ray tracing (Splash-2).
+
+   Rays traverse a spatial acceleration structure: consecutive rays hit
+   mostly nearby geometry (image-space coherence) with a 30 % incoherent
+   tail (reflections), and write a private framebuffer streamingly. A
+   fresh bundle of rays arrives every frame (timing step). *)
+
+open Wl_common
+
+let degree = 6
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let rays = aligned (scaled scale 8192) in
+  let geom = aligned (scaled scale 4096) in
+  let r = rng ~seed:41 in
+  let hit =
+    clustered_table ~rng:r ~n:rays ~degree ~spread:512 ~long_range:0.3
+      ~target:geom
+  in
+  let ray, rayo = sliced "ray" rays ~steps in
+  let tri, trio = sliced "tri" geom ~steps in
+  let shade, so = sliced "shade" rays ~steps in
+  let fb, fbo = sliced "fb" rays ~steps in
+  let d = v "d" in
+  let trace =
+    Ir.Loop_nest.make ~name:"trace"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:rays)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:24
+      [
+        rd "ray" (i_ +! rayo);
+        rd_at "tri" ~offset:trio ~table:"hit" ~pos:((degree *! i_) +! d);
+        wr "shade" (i_ +! so);
+      ]
+  in
+  let write_fb =
+    Ir.Loop_nest.make ~name:"framebuffer"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:rays)
+      ~compute_cycles:8
+      [ rd "shade" (i_ +! so); wr "fb" (i_ +! fbo) ]
+  in
+  Ir.Program.create ~name:"raytrace" ~kind:Ir.Program.Irregular
+    ~arrays:[ ray; tri; shade; fb ]
+    ~index_tables:[ ("hit", hit) ]
+    ~time_steps:steps
+    [ trace; write_fb ]

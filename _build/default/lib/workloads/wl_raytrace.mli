@@ -1,0 +1,12 @@
+(** raytrace — ray tracer (Splash-2).
+
+    Irregular: image-coherent geometry hits with a 30 % incoherent
+    reflection tail; fresh rays every frame (timing step).
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

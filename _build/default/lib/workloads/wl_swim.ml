@@ -1,0 +1,59 @@
+(* swim — shallow-water finite differences (ADI-style sweeps).
+
+   One row-major sweep, one *column* sweep over the padded 2-D fields
+   (pitch-aligned rows, see {!Wl_common.pitch}), and a copy-back. The
+   column sweep keeps each column on a single LLC bank and MC, which is
+   what makes swim one of the paper's biggest winners under both LLC
+   organisations. *)
+
+open Wl_common
+
+let base_rows = 4
+
+let program ?(scale = 1.0) () =
+  (* Larger inputs add rows; the column dimension is one pitch wide. *)
+  let rows = max 2 (scaled scale base_rows) in
+  let cols = pitch in
+  let n = pitch * rows in
+  let fields = [ "u"; "v"; "p"; "unew"; "vnew"; "pnew" ] in
+  let decls, off =
+    let ds = ref [] in
+    let off = ref (Ir.Affine.const 0) in
+    List.iter
+      (fun f ->
+        let d, o = sliced f n ~steps:2 in
+        ds := d :: !ds;
+        off := o)
+      fields;
+    (List.rev !ds, !off)
+  in
+  let j = v "j" in
+  let at2 = i_ +! (pitch *! j) +! off in
+  let row_sweep =
+    Ir.Loop_nest.make ~name:"row_sweep"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:(n - 2))
+      ~compute_cycles:28
+      [
+        rd "u" (i_ +! off);
+        rd "v" (i_ +! off);
+        rd "p" (i_ +! c 1 +! off);
+        wr "unew" (i_ +! off);
+        wr "vnew" (i_ +! off);
+      ]
+  in
+  let column_sweep =
+    Ir.Loop_nest.make ~name:"column_sweep"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:cols)
+      ~inner:[ Ir.Loop_nest.loop "j" ~hi:rows ]
+      ~compute_cycles:24
+      [ rd "unew" at2; rd "vnew" at2; wr "pnew" at2 ]
+  in
+  let copy_back =
+    Ir.Loop_nest.make ~name:"copy_back"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:12
+      [ rd "pnew" (i_ +! off); wr "p" (i_ +! off) ]
+  in
+  Ir.Program.create ~name:"swim" ~kind:Ir.Program.Regular ~arrays:decls
+    ~time_steps:2
+    [ row_sweep; column_sweep; copy_back ]

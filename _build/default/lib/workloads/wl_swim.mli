@@ -1,0 +1,12 @@
+(** swim — shallow-water finite differences (SPEC OMP).
+
+    Regular: ADI-style row sweep, column sweep and copy-back over
+    pitch-aligned 2-D fields.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

@@ -1,0 +1,45 @@
+(* volrend — volume rendering (Splash-2).
+
+   Ray casting through a voxel octree: samples are spread widely
+   through misaligned per-frame slices (40 % long-range), so per-set MC
+   affinity is weak and drifts between frames — the paper likewise
+   reports small savings. *)
+
+open Wl_common
+
+let degree = 8
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let rays = misaligned (scaled scale 6144) in
+  let voxels = misaligned (scaled scale 16384) in
+  let r = rng ~seed:53 in
+  let sample =
+    clustered_table ~rng:r ~n:rays ~degree ~spread:(voxels / 2)
+      ~long_range:0.4 ~target:voxels
+  in
+  let vox, vo = sliced "vox" voxels ~steps in
+  let pixel, po = sliced "pixel" rays ~steps in
+  let image, io = sliced "image" rays ~steps in
+  let d = v "d" in
+  let cast =
+    Ir.Loop_nest.make ~name:"cast"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:rays)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:20
+      [
+        rd_at "vox" ~offset:vo ~table:"sample" ~pos:((degree *! i_) +! d);
+        wr "pixel" (i_ +! po);
+      ]
+  in
+  let composite =
+    Ir.Loop_nest.make ~name:"composite"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:rays)
+      ~compute_cycles:12
+      [ rd "pixel" (i_ +! po); wr "image" (i_ +! io) ]
+  in
+  Ir.Program.create ~name:"volrend" ~kind:Ir.Program.Irregular
+    ~arrays:[ vox; pixel; image ]
+    ~index_tables:[ ("sample", sample) ]
+    ~time_steps:steps
+    [ cast; composite ]

@@ -1,0 +1,12 @@
+(** volrend — volume renderer (Splash-2).
+
+    Irregular: ray casting over misaligned voxel slices with 40 %
+    long-range samples; weakly localisable, like the paper reports.
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

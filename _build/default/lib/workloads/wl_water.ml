@@ -1,0 +1,49 @@
+(* water — water molecule dynamics (Splash-2).
+
+   Intra-molecular forces stream over each molecule's own state;
+   inter-molecular forces read a tight cutoff-radius neighbour list
+   (high locality, 10 % long-range). *)
+
+open Wl_common
+
+let degree = 10
+let steps = 8
+
+let program ?(scale = 1.0) () =
+  let n = aligned (scaled scale 5120) in
+  let r = rng ~seed:61 in
+  let nbr =
+    clustered_table ~rng:r ~n ~degree ~spread:384 ~long_range:0.1 ~target:n
+  in
+  let pos, po = sliced "pos" n ~steps in
+  let bond, bo = sliced "bond" n ~steps in
+  let force, fo = sliced "force" n ~steps in
+  let d = v "d" in
+  let intra =
+    Ir.Loop_nest.make ~name:"intra_forces"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:36
+      [ rd "pos" (i_ +! po); rd "bond" (i_ +! bo); wr "force" (i_ +! fo) ]
+  in
+  let inter =
+    Ir.Loop_nest.make ~name:"inter_forces"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~inner:[ Ir.Loop_nest.loop "d" ~hi:degree ]
+      ~compute_cycles:24
+      [
+        rd "pos" (i_ +! po);
+        rd_at "pos" ~offset:po ~table:"nbr" ~pos:((degree *! i_) +! d);
+        wr "force" (i_ +! fo);
+      ]
+  in
+  let integrate =
+    Ir.Loop_nest.make ~name:"integrate"
+      ~par:(Ir.Loop_nest.loop "i" ~hi:n)
+      ~compute_cycles:16
+      [ rd "force" (i_ +! fo); wr "pos" (i_ +! po) ]
+  in
+  Ir.Program.create ~name:"water" ~kind:Ir.Program.Irregular
+    ~arrays:[ pos; bond; force ]
+    ~index_tables:[ ("nbr", nbr) ]
+    ~time_steps:steps
+    [ intra; inter; integrate ]

@@ -1,0 +1,12 @@
+(** water — water molecule dynamics (Splash-2).
+
+    Irregular: streaming intra-molecular forces plus a cutoff-radius
+    neighbour list (high locality).
+
+    See DESIGN.md for the substitution rationale behind the synthetic
+    kernels. *)
+
+val program : ?scale:float -> unit -> Ir.Program.t
+(** Builds the benchmark; [scale] multiplies the base input size
+    (default 1.0). Deterministic: repeated calls produce identical
+    programs and index tables. *)

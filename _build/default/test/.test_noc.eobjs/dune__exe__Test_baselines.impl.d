@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Fun Harness Hashtbl Ir Lazy List Locmap Machine Mem Noc

@@ -1,0 +1,1 @@
+test/test_cme.ml: Alcotest Array Cme Harness Ir Locmap Machine Mem Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cache Float Harness List Machine Printf

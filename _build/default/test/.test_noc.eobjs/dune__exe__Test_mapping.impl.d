@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Cache Extensions Float Gen Harness Ir Lazy List Locmap Machine Mem Printf QCheck QCheck_alcotest

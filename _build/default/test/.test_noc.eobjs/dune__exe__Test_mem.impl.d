@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Fun List Mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_model_extra.ml: Alcotest Array Float Format Harness Ir List Locmap Machine Mem Noc Printf String

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Array List Noc Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Cache Fun Gen Harness Ir List Locmap Machine QCheck QCheck_alcotest

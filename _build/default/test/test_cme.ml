@@ -1,0 +1,146 @@
+(* Tests for the cache-miss estimator: reuse analysis, miss periods and
+   end-to-end estimation accuracy against a functional cache replay. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg = Machine.Config.default
+
+let arr name length = { Ir.Program.name; elem_size = 8; length }
+
+let i_ = Ir.Affine.var "i"
+let rd a e = Ir.Access.read a (Ir.Access.direct e)
+let wr a e = Ir.Access.write a (Ir.Access.direct e)
+
+(* Streaming kernel: unit-stride reads of a large array. *)
+let stream_prog =
+  Ir.Program.create ~name:"stream" ~kind:Ir.Program.Regular
+    ~arrays:[ arr "a" 65536; arr "b" 65536 ]
+    [
+      Ir.Loop_nest.make ~name:"s"
+        ~par:(Ir.Loop_nest.loop "i" ~hi:65536)
+        [ rd "a" i_; wr "b" i_ ];
+    ]
+
+(* Blocked kernel: a hot tile reused through an inner loop. *)
+let tile_prog =
+  let k = Ir.Affine.var "k" in
+  Ir.Program.create ~name:"tile" ~kind:Ir.Program.Regular
+    ~arrays:[ arr "big" (16 * 8192); arr "tile" 64 ]
+    [
+      Ir.Loop_nest.make ~name:"t"
+        ~par:(Ir.Loop_nest.loop "i" ~hi:8192)
+        ~inner:[ Ir.Loop_nest.loop "k" ~hi:16 ]
+        [
+          rd "big" Ir.Affine.(add (var ~coeff:16 "i") k);
+          rd "tile" Ir.Affine.(var ~coeff:4 "k");
+        ];
+    ]
+
+let layout p = Ir.Layout.allocate ~page_size:cfg.page_size p
+
+let test_reuse_stream () =
+  let infos = Cme.Reuse.analyze stream_prog (layout stream_prog) ~nest:0 in
+  check_int "two refs" 2 (Array.length infos);
+  check_bool "regular" true infos.(0).Cme.Reuse.regular;
+  check_int "unit stride in bytes" 8 infos.(0).Cme.Reuse.dominant_stride;
+  check_int "no temporal reuse" 1 infos.(0).Cme.Reuse.reuse_factor;
+  check_int "fresh bytes per iter" 8 infos.(0).Cme.Reuse.fresh_bytes_per_par_iter;
+  check_bool "not step dependent" false infos.(0).Cme.Reuse.step_dependent
+
+let test_reuse_tile () =
+  let infos = Cme.Reuse.analyze tile_prog (layout tile_prog) ~nest:0 in
+  (* big: depends on i and k, stride 8 bytes along k, 16 fresh elements
+     per parallel iteration. *)
+  check_int "big stride" 8 infos.(0).Cme.Reuse.dominant_stride;
+  check_int "big fresh" 128 infos.(0).Cme.Reuse.fresh_bytes_per_par_iter;
+  (* tile: depends only on k and stays within one small array. *)
+  check_int "tile stride" 32 infos.(1).Cme.Reuse.dominant_stride;
+  check_bool "tile fresh bounded by extent" true
+    (infos.(1).Cme.Reuse.fresh_bytes_per_par_iter
+    <= Ir.Layout.extent_bytes (layout tile_prog) "tile")
+
+let test_nest_footprint () =
+  let fp = Cme.Reuse.nest_footprint stream_prog (layout stream_prog) ~nest:0 in
+  check_int "two arrays worth" (2 * 65536 * 8) fp
+
+let test_periods_stream () =
+  let c = Cme.create cfg stream_prog (layout stream_prog) ~nest:0 in
+  (* 32-byte L1 lines, 8-byte elements: one L1 miss every 4 accesses;
+     64-byte LLC lines: every second L1 miss reaches memory. *)
+  check_int "L1 period" 4 (Cme.l1_period c 0);
+  check_int "LLC period" 2 (Cme.llc_period c 0);
+  check_bool "no fits shortcut on single step" false (Cme.fits_llc c)
+
+let test_periods_resident_tile () =
+  let c = Cme.create cfg tile_prog (layout tile_prog) ~nest:0 in
+  (* The 512-byte tile is L1-resident: cold misses only. *)
+  check_bool "tile cold-only at L1" true (Cme.l1_period c 1 > 1_000_000)
+
+let test_classify_stream_stats () =
+  let c = Cme.create cfg stream_prog (layout stream_prog) ~nest:0 in
+  let l1m = ref 0 and llcm = ref 0 and n = 4096 in
+  for _ = 1 to n do
+    match Cme.classify c with
+    | Cme.L1_hit -> ()
+    | Cme.Llc_hit -> incr l1m
+    | Cme.Llc_miss ->
+        incr l1m;
+        incr llcm
+  done;
+  (* Two streams, both with period 4 at L1 and 2 at LLC. *)
+  check_int "quarter L1 misses" (n / 4) !l1m;
+  check_int "eighth LLC misses" (n / 8) !llcm
+
+let test_classify_reset () =
+  let c = Cme.create cfg stream_prog (layout stream_prog) ~nest:0 in
+  let first = Cme.classify c in
+  ignore (Cme.classify c);
+  Cme.reset c;
+  check_bool "deterministic after reset" true (Cme.classify c = first)
+
+(* End-to-end: CME summaries should be close to the observed (functional
+   replay) summaries on an analysable program. *)
+let test_accuracy_vs_observed () =
+  let p = Harness.Experiment.prepare_name ~scale:0.25 "jacobi-3d" in
+  let pt = Mem.Page_table.create ~page_size:cfg.page_size () in
+  let amap = Machine.Addr_map.create cfg pt in
+  let sets =
+    Ir.Iter_set.partition p.Harness.Experiment.prog
+      ~fraction:cfg.iter_set_fraction
+  in
+  let est =
+    Locmap.Analysis.cme_summaries cfg amap p.Harness.Experiment.trace ~sets
+  in
+  let _, warm =
+    Locmap.Analysis.observed_summaries cfg amap p.Harness.Experiment.trace
+      ~sets
+  in
+  let err = Locmap.Analysis.mean_error Locmap.Summary.mai est warm in
+  check_bool
+    (Printf.sprintf "MAI error %.3f under 0.25 (paper band)" err)
+    true (err < 0.25)
+
+let () =
+  Alcotest.run "cme"
+    [
+      ( "reuse",
+        [
+          Alcotest.test_case "streaming" `Quick test_reuse_stream;
+          Alcotest.test_case "tile" `Quick test_reuse_tile;
+          Alcotest.test_case "footprint" `Quick test_nest_footprint;
+        ] );
+      ( "periods",
+        [
+          Alcotest.test_case "streaming periods" `Quick test_periods_stream;
+          Alcotest.test_case "resident tile" `Quick test_periods_resident_tile;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "stream statistics" `Quick test_classify_stream_stats;
+          Alcotest.test_case "reset" `Quick test_classify_reset;
+        ] );
+      ( "accuracy",
+        [ Alcotest.test_case "vs observed replay" `Quick test_accuracy_vs_observed ]
+      );
+    ]

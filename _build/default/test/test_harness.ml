@@ -1,0 +1,100 @@
+(* Tests for the experiment harness: preparation, memoised runs,
+   strategies and report aggregation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg = Machine.Config.default
+
+let test_prepare () =
+  let p = Harness.Experiment.prepare_name ~scale:0.25 "fft" in
+  check_bool "entry name" true (p.entry.Workloads.Registry.name = "fft");
+  check_bool "trace compiled" true (Ir.Trace.num_nests p.trace > 0);
+  check_bool "unknown raises" true
+    (try
+       ignore (Harness.Experiment.prepare_name "nope");
+       false
+     with Not_found -> true)
+
+let test_run_memoised () =
+  Harness.Experiment.clear_cache ();
+  let p = Harness.Experiment.prepare_name ~scale:0.25 "fft" in
+  let t0 = Unix.gettimeofday () in
+  let a = Harness.Experiment.run cfg p Harness.Experiment.Default in
+  let t1 = Unix.gettimeofday () in
+  let b = Harness.Experiment.run cfg p Harness.Experiment.Default in
+  let t2 = Unix.gettimeofday () in
+  check_bool "same object from cache" true (a == b);
+  check_bool "cache fast" true (t2 -. t1 < (t1 -. t0) /. 2. +. 0.01)
+
+let test_strategies_distinct () =
+  Harness.Experiment.clear_cache ();
+  let p = Harness.Experiment.prepare_name ~scale:0.25 "jacobi-3d" in
+  let dflt = Harness.Experiment.run cfg p Harness.Experiment.Default in
+  let ideal = Harness.Experiment.run cfg p Harness.Experiment.Ideal_network in
+  let la = Harness.Experiment.run cfg p Harness.Experiment.Location_aware in
+  check_int "ideal network silent" 0 ideal.stats.Machine.Stats.net_packets;
+  check_bool "LA carries mapping info" true (la.info <> None);
+  check_bool "default has no info" true (dflt.info = None);
+  check_bool "LA reduces network latency on jacobi" true
+    (la.stats.Machine.Stats.net_latency < dflt.stats.Machine.Stats.net_latency)
+
+let test_reductions () =
+  check_bool "50%" true (Harness.Experiment.reduction ~base:100 50 = 50.);
+  check_bool "negative when worse" true (Harness.Experiment.reduction ~base:100 120 < 0.);
+  check_bool "zero base safe" true (Harness.Experiment.reduction ~base:0 5 = 0.)
+
+let test_strategy_names () =
+  let all =
+    Harness.Experiment.
+      [ Default; Location_aware; La_oracle; Ideal_network; Hw_placement;
+        Data_opt; La_plus_do; Co_optimized ]
+  in
+  let names = List.map Harness.Experiment.strategy_name all in
+  check_int "distinct names" (List.length all)
+    (List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "identity" 1. (Harness.Report.geomean_ratio [ 1.; 1. ]);
+  Alcotest.(check (float 1e-6)) "sqrt" 2. (Harness.Report.geomean_ratio [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "empty" 1. (Harness.Report.geomean_ratio []);
+  (* Reduction aggregation matches the paper's GEOMEAN semantics. *)
+  Alcotest.(check (float 1e-6)) "all fifty" 50.
+    (Harness.Report.geomean_reduction [ 50.; 50. ]);
+  check_bool "mixed stays between" true
+    (let g = Harness.Report.geomean_reduction [ 80.; 0. ] in
+     g > 0. && g < 80.)
+
+let test_mean_and_formats () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Harness.Report.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check string) "pct" "12.3" (Harness.Report.pct 12.34);
+  Alcotest.(check string) "f3" "0.123" (Harness.Report.f3 0.1234)
+
+let test_figures_registry () =
+  check_int "16 drivers" 16 (List.length Harness.Figures.all);
+  check_bool "find fig7" true (Harness.Figures.find "fig7" <> None);
+  check_bool "find unknown" true (Harness.Figures.find "fig99" = None);
+  check_bool "ids unique" true
+    (let ids = List.map (fun (f : Harness.Figures.fig) -> f.id) Harness.Figures.all in
+     List.length (List.sort_uniq compare ids) = List.length ids)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "prepare" `Quick test_prepare;
+          Alcotest.test_case "memoised" `Quick test_run_memoised;
+          Alcotest.test_case "strategies" `Quick test_strategies_distinct;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "mean and formats" `Quick test_mean_and_formats;
+        ] );
+      ("figures", [ Alcotest.test_case "registry" `Quick test_figures_registry ]);
+    ]

@@ -1,0 +1,114 @@
+(* End-to-end integration tests: the paper's mechanism must be visible
+   through the whole stack — compile a program, map it, simulate it,
+   and check the headline claims qualitatively (at reduced scale). *)
+
+let check_bool = Alcotest.(check bool)
+
+let private_cfg = Machine.Config.default
+let shared_cfg = { private_cfg with Machine.Config.llc_org = Cache.Llc.Shared }
+
+let improvement cfg name strategy =
+  let p = Harness.Experiment.prepare_name ~scale:0.5 name in
+  let base = Harness.Experiment.run cfg p Harness.Experiment.Default in
+  let opt = Harness.Experiment.run cfg p strategy in
+  Harness.Experiment.reductions ~base opt
+
+(* Headline: the location-aware mapping reduces on-chip network latency
+   substantially on localisable applications, private LLC. *)
+let test_private_localisable_wins () =
+  List.iter
+    (fun name ->
+      let net, time = improvement private_cfg name Harness.Experiment.Location_aware in
+      check_bool
+        (Printf.sprintf "%s: network latency cut by >20%% (got %.1f)" name net)
+        true (net > 20.);
+      check_bool
+        (Printf.sprintf "%s: execution time improves (got %.1f)" name time)
+        true (time > 0.))
+    [ "jacobi-3d"; "lulesh"; "swim"; "diff" ]
+
+(* Weakly localisable applications neither win nor regress much —
+   matching the paper's barnes/volrend/equake behaviour. *)
+let test_weakly_localisable_bounded () =
+  List.iter
+    (fun name ->
+      let _, time = improvement private_cfg name Harness.Experiment.Location_aware in
+      check_bool
+        (Printf.sprintf "%s: execution within noise (got %.1f)" name time)
+        true
+        (time > -8.))
+    [ "barnes"; "volrend"; "equake" ]
+
+(* Shared-LLC mode: column-sweeping and clustered applications gain. *)
+let test_shared_gains () =
+  List.iter
+    (fun name ->
+      let net, _ = improvement shared_cfg name Harness.Experiment.Location_aware in
+      check_bool
+        (Printf.sprintf "%s: shared-LLC network latency reduced (got %.1f)"
+           name net)
+        true (net > 5.))
+    [ "swim"; "art"; "lu" ]
+
+(* The ideal network bounds any real mapping gain. *)
+let test_ideal_bounds_la () =
+  List.iter
+    (fun name ->
+      let _, t_ideal = improvement private_cfg name Harness.Experiment.Ideal_network in
+      let _, t_la = improvement private_cfg name Harness.Experiment.Location_aware in
+      check_bool
+        (Printf.sprintf "%s: LA (%.1f) <= ideal (%.1f) + noise" name t_la t_ideal)
+        true
+        (t_la <= t_ideal +. 3.))
+    [ "jacobi-3d"; "moldyn"; "fft" ]
+
+(* Oracle estimation is not much better than realistic estimation
+   (the paper's Figure 15 observation). *)
+let test_oracle_close_to_realistic () =
+  List.iter
+    (fun name ->
+      let _, t_real = improvement private_cfg name Harness.Experiment.Location_aware in
+      let _, t_oracle = improvement private_cfg name Harness.Experiment.La_oracle in
+      check_bool
+        (Printf.sprintf "%s: oracle (%.1f) within 8 points of realistic (%.1f)"
+           name t_oracle t_real)
+        true
+        (Float.abs (t_oracle -. t_real) < 8.))
+    [ "jacobi-3d"; "swim" ]
+
+(* The compiler approach beats the hardware placement scheme on
+   multi-threaded apps (Figure 14's claim), at least on a localisable
+   workload. *)
+let test_la_beats_hw () =
+  let _, t_la = improvement private_cfg "lulesh" Harness.Experiment.Location_aware in
+  let _, t_hw = improvement private_cfg "lulesh" Harness.Experiment.Hw_placement in
+  check_bool
+    (Printf.sprintf "LA (%.1f) > HW (%.1f) on lulesh" t_la t_hw)
+    true (t_la > t_hw)
+
+(* LA+DO composes: not significantly worse than LA alone (Figure 13). *)
+let test_la_plus_do_composes () =
+  let _, t_la = improvement private_cfg "jacobi-3d" Harness.Experiment.Location_aware in
+  let _, t_both = improvement private_cfg "jacobi-3d" Harness.Experiment.La_plus_do in
+  check_bool
+    (Printf.sprintf "LA+DO (%.1f) close to or above LA (%.1f)" t_both t_la)
+    true
+    (t_both > t_la -. 10.)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "headline",
+        [
+          Alcotest.test_case "private localisable wins" `Slow
+            test_private_localisable_wins;
+          Alcotest.test_case "weakly localisable bounded" `Slow
+            test_weakly_localisable_bounded;
+          Alcotest.test_case "shared gains" `Slow test_shared_gains;
+          Alcotest.test_case "ideal bounds LA" `Slow test_ideal_bounds_la;
+          Alcotest.test_case "oracle close to realistic" `Slow
+            test_oracle_close_to_realistic;
+          Alcotest.test_case "LA beats HW placement" `Slow test_la_beats_hw;
+          Alcotest.test_case "LA+DO composes" `Slow test_la_plus_do_composes;
+        ] );
+    ]

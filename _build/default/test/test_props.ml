@@ -1,0 +1,180 @@
+(* Property tests against independent reference models: the
+   set-associative cache versus a naive LRU oracle, and compiled trace
+   expansion versus direct evaluation of randomly generated affine
+   programs. *)
+
+(* ------------------------------------------------------------------ *)
+(* A deliberately naive set-associative LRU cache: each set is a list
+   of (line, dirty), most recently used first. *)
+
+module Ref_cache = struct
+  type t = {
+    sets : int;
+    assoc : int;
+    line : int;
+    mutable state : (int * bool) list array;
+  }
+
+  let create ~size ~assoc ~line_size () =
+    let lines = size / line_size in
+    {
+      sets = lines / assoc;
+      assoc;
+      line = line_size;
+      state = Array.make (lines / assoc) [];
+    }
+
+  (* Returns (hit, victim_dirty_line option). *)
+  let access t ~addr ~write =
+    let line = addr / t.line in
+    let set = line mod t.sets in
+    let entries = t.state.(set) in
+    match List.assoc_opt line entries with
+    | Some dirty ->
+        t.state.(set) <-
+          (line, dirty || write) :: List.remove_assoc line entries;
+        (true, None)
+    | None ->
+        let entries = (line, write) :: entries in
+        if List.length entries > t.assoc then begin
+          let kept = List.filteri (fun k _ -> k < t.assoc) entries in
+          let victim = List.nth entries t.assoc in
+          t.state.(set) <- kept;
+          (false, Some victim)
+        end
+        else begin
+          t.state.(set) <- entries;
+          (false, None)
+        end
+end
+
+let qcheck_cache_matches_reference =
+  QCheck.Test.make ~name:"Sa_cache behaves like the naive LRU oracle"
+    ~count:60
+    QCheck.(
+      list_of_size
+        Gen.(int_range 50 400)
+        (pair (int_bound 8191) bool))
+    (fun trace ->
+      let c = Cache.Sa_cache.create ~size:1024 ~assoc:2 ~line_size:64 () in
+      let r = Ref_cache.create ~size:1024 ~assoc:2 ~line_size:64 () in
+      List.for_all
+        (fun (addr, write) ->
+          let got = Cache.Sa_cache.access c ~addr ~write in
+          let hit_ref, victim_ref = Ref_cache.access r ~addr ~write in
+          match got with
+          | Cache.Sa_cache.Hit -> hit_ref
+          | Cache.Sa_cache.Miss { victim_line_addr; victim_dirty } -> (
+              (not hit_ref)
+              &&
+              match victim_ref with
+              | None -> victim_line_addr = -1
+              | Some (vline, vdirty) ->
+                  victim_line_addr = vline * 64 && victim_dirty = vdirty))
+        trace)
+
+(* ------------------------------------------------------------------ *)
+(* Random small affine programs: trace expansion must equal direct
+   evaluation of the index expressions, in program order. *)
+
+let gen_program =
+  QCheck.Gen.(
+    let* par_trip = int_range 2 12 in
+    let* inner_trip = int_range 1 4 in
+    let* nrefs = int_range 1 4 in
+    let* coeffs =
+      list_size (return nrefs)
+        (triple (int_range 0 3) (int_range 0 3) (int_range 0 15))
+    in
+    let* steps = int_range 1 3 in
+    return (par_trip, inner_trip, coeffs, steps))
+
+let build (par_trip, inner_trip, coeffs, steps) =
+  (* Size the array so every reference stays in bounds. *)
+  let max_index =
+    List.fold_left
+      (fun acc (ci, cj, c0) ->
+        max acc ((ci * (par_trip - 1)) + (cj * (inner_trip - 1)) + c0))
+      0 coeffs
+  in
+  let arr =
+    { Ir.Program.name = "a"; elem_size = 8; length = max_index + 1 }
+  in
+  let body =
+    List.map
+      (fun (ci, cj, c0) ->
+        Ir.Access.read "a"
+          (Ir.Access.direct
+             Ir.Affine.(
+               add (var ~coeff:ci "i") (add (var ~coeff:cj "j") (const c0)))))
+      coeffs
+  in
+  Ir.Program.create ~name:"rand" ~kind:Ir.Program.Regular ~arrays:[ arr ]
+    ~time_steps:steps
+    [
+      Ir.Loop_nest.make ~name:"n"
+        ~par:(Ir.Loop_nest.loop "i" ~hi:par_trip)
+        ~inner:[ Ir.Loop_nest.loop "j" ~hi:inner_trip ]
+        body;
+    ]
+
+let expected_addrs (par_trip, inner_trip, coeffs, _) base step lo hi =
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    for j = 0 to inner_trip - 1 do
+      List.iter
+        (fun (ci, cj, c0) ->
+          ignore step;
+          out := (base + (8 * ((ci * i) + (cj * j) + c0))) :: !out)
+        coeffs
+    done
+  done;
+  ignore par_trip;
+  List.rev !out
+
+let qcheck_trace_matches_direct_eval =
+  QCheck.Test.make ~name:"trace expansion equals direct evaluation" ~count:100
+    (QCheck.make gen_program) (fun spec ->
+      let prog = build spec in
+      let layout = Ir.Layout.allocate ~page_size:2048 prog in
+      let trace = Ir.Trace.create prog layout in
+      let base = Ir.Layout.base layout "a" in
+      let par_trip, _, _, steps = spec in
+      let lo = 0 and hi = min par_trip 5 in
+      List.for_all
+        (fun step ->
+          let got = ref [] in
+          Ir.Trace.iter_range ~step trace ~nest:0 ~lo ~hi
+            (fun ~addr ~write:_ -> got := addr :: !got);
+          List.rev !got = expected_addrs spec base step lo hi)
+        (List.init steps Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Mapper end-to-end invariants on random fractions. *)
+
+let qcheck_mapper_covers_all_sets =
+  QCheck.Test.make ~name:"mapper assigns every set to a valid core" ~count:10
+    QCheck.(int_range 1 40)
+    (fun pct ->
+      let p = Harness.Experiment.prepare_name ~scale:0.25 "fft" in
+      let cfg = Machine.Config.default in
+      let info =
+        Locmap.Mapper.map ~measure_error:false
+          ~fraction:(float_of_int pct /. 1000.)
+          cfg p.Harness.Experiment.trace
+      in
+      Machine.Schedule.validate info.schedule
+        ~num_cores:(Machine.Config.num_cores cfg)
+      = Ok ()
+      && Array.length info.schedule.core_of = Array.length info.sets)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "reference models",
+        [
+          QCheck_alcotest.to_alcotest qcheck_cache_matches_reference;
+          QCheck_alcotest.to_alcotest qcheck_trace_matches_direct_eval;
+          QCheck_alcotest.to_alcotest qcheck_mapper_covers_all_sets;
+        ] );
+    ]
