@@ -1,0 +1,28 @@
+# Convenience targets; `make check` is the tier-1 gate.
+
+.PHONY: all check test bench bench-service sweep clean
+
+all:
+	dune build
+
+# Build + full test suite (unit, property, integration, service).
+check:
+	dune build && dune runtest
+
+test: check
+
+# Paper tables/figures + micro-benchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Serving-layer benchmark: pool throughput at 1/2/4/8 domains and
+# solution-cache hit rate under a Zipf-skewed request mix.
+bench-service:
+	dune exec bench/service_bench.exe
+
+# Small end-to-end sweep through the service pool.
+sweep:
+	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
+
+clean:
+	dune clean

@@ -1,0 +1,163 @@
+(* Serving-layer benchmark: throughput scaling of the service pool and
+   solution-cache effectiveness.
+
+     dune exec bench/service_bench.exe                # or: make bench-service
+     dune exec bench/service_bench.exe -- --scale 0.5 --requests 400
+
+   Phase 1 fans a cold batch of distinct requests across 1/2/4/8 worker
+   domains and reports requests/second and speedup over the 1-domain
+   run. Phase 2 replays a Zipf-skewed mix (a few popular requests
+   dominate, as they would for a fleet scheduler's hot workloads)
+   against one warm Api and reports the cache hit rate and the serve
+   time with and without the cache. *)
+
+let scale = ref 0.35
+let num_requests = ref 300
+let zipf_s = ref 1.1
+let domain_counts = ref [ 1; 2; 4; 8 ]
+
+let usage = "service_bench.exe [--scale S] [--requests N] [--zipf S] [--domains 1,2,4,8]"
+
+let args =
+  [
+    ("--scale", Arg.Set_float scale, "S benchmark input-size scale (default 0.35)");
+    ( "--requests",
+      Arg.Set_int num_requests,
+      "N Zipf-mix length for phase 2 (default 300)" );
+    ("--zipf", Arg.Set_float zipf_s, "S Zipf skew exponent (default 1.1)");
+    ( "--domains",
+      Arg.String
+        (fun s ->
+          domain_counts :=
+            String.split_on_char ',' s |> List.map int_of_string),
+      "LIST domain counts for phase 1 (default 1,2,4,8)" );
+  ]
+
+(* The request universe: every registry workload on private and shared
+   LLC — 42 distinct requests on the paper's default machine. *)
+let universe () =
+  List.concat_map
+    (fun llc ->
+      List.map
+        (fun name ->
+          let machine = { Machine.Config.default with llc_org = llc } in
+          Service.Request.make ~scale:!scale ~machine name)
+        Workloads.Registry.names)
+    [ Cache.Llc.Private; Cache.Llc.Shared ]
+  |> Array.of_list
+
+(* Zipf-skewed index sampling: P(rank k) ∝ 1/(k+1)^s over a fixed
+   random permutation of the universe, so popularity is not correlated
+   with registry order. *)
+let zipf_mix universe n =
+  let u = Array.length universe in
+  let rng = Random.State.make [| 0xbeef |] in
+  let perm = Array.init u Fun.id in
+  for i = u - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let weights =
+    Array.init u (fun k -> 1. /. Float.pow (float_of_int (k + 1)) !zipf_s)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let sample () =
+    let x = Random.State.float rng total in
+    let rec find k acc =
+      let acc = acc +. weights.(k) in
+      if x <= acc || k = u - 1 then perm.(k) else find (k + 1) acc
+    in
+    find 0 0.
+  in
+  Array.init n (fun _ -> universe.(sample ()))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let universe = universe () in
+  let n_uni = Array.length universe in
+
+  Printf.printf "Phase 1: cold-batch throughput (%d distinct requests, scale %.2f)\n"
+    n_uni !scale;
+  Printf.printf
+    "(machine reports %d usable core(s); speedup >1 needs more than one)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-8s %10s %10s %8s\n" "domains" "time (s)" "req/s" "speedup";
+  let base = ref None in
+  List.iter
+    (fun d ->
+      let api = Service.Api.create ~cache_capacity:n_uni ~num_domains:d () in
+      let responses, elapsed =
+        time (fun () -> Service.Api.submit_batch api universe)
+      in
+      Service.Api.shutdown api;
+      let errors =
+        Array.fold_left
+          (fun a r -> if Service.Response.is_ok r then a else a + 1)
+          0 responses
+      in
+      if errors > 0 then Printf.printf "!! %d errors\n" errors;
+      let speedup =
+        match !base with
+        | None ->
+            base := Some elapsed;
+            1.0
+        | Some b -> b /. elapsed
+      in
+      Printf.printf "%-8d %10.2f %10.1f %7.2fx\n%!" d elapsed
+        (float_of_int n_uni /. elapsed)
+        speedup)
+    !domain_counts;
+
+  Printf.printf
+    "\nPhase 2: Zipf(s=%.2f) mix of %d requests over the %d-request universe\n"
+    !zipf_s !num_requests n_uni;
+  let mix = zipf_mix universe !num_requests in
+  let distinct =
+    let tbl = Hashtbl.create 64 in
+    Array.iter (fun r -> Hashtbl.replace tbl (Service.Request.hash r) ()) mix;
+    Hashtbl.length tbl
+  in
+  Printf.printf "distinct requests in mix: %d\n" distinct;
+  (* Serve in waves of 20, as a fleet front-end would: later waves hit
+     the solutions cached by earlier ones. *)
+  let api = Service.Api.create ~cache_capacity:n_uni ~num_domains:4 () in
+  let wave = 20 in
+  let _, cached_time =
+    time (fun () ->
+        let i = ref 0 in
+        while !i < Array.length mix do
+          let len = min wave (Array.length mix - !i) in
+          ignore (Service.Api.submit_batch api (Array.sub mix !i len));
+          i := !i + len
+        done)
+  in
+  let s = Service.Api.stats api in
+  Service.Api.shutdown api;
+  let nocache_estimate =
+    (* Every request computed (no dedup, no cache): distinct-cost times
+       mean multiplicity, measured as the cached run's compute share
+       scaled up. *)
+    cached_time
+    *. float_of_int !num_requests
+    /. float_of_int (max 1 s.computed)
+  in
+  Printf.printf "served %d requests in %.2fs (%.1f req/s, 4 domains)\n"
+    !num_requests cached_time
+    (float_of_int !num_requests /. cached_time);
+  Printf.printf "computed: %d, cache hit rate: %.1f%%\n" s.computed
+    (100.
+    *. float_of_int s.cache.Service.Solution_cache.hits
+    /. float_of_int
+         (max 1
+            (s.cache.Service.Solution_cache.hits
+           + s.cache.Service.Solution_cache.misses)));
+  Printf.printf "estimated cache-less serve time: %.2fs (%.1fx saved)\n"
+    nocache_estimate
+    (nocache_estimate /. cached_time)

@@ -6,7 +6,9 @@
      locmap info moldyn               # program structure
      locmap map moldyn --llc shared   # mapping diagnostics
      locmap simulate swim --strategy la --llc shared
-     locmap experiments --only fig7   # regenerate paper figures *)
+     locmap experiments --only fig7   # regenerate paper figures
+     locmap batch reqs.jsonl -d 4     # serve a JSON-lines request file
+     locmap sweep -w fmm,lu -m 4x4,6x6 -d 4   # parameter cross-product *)
 
 open Cmdliner
 
@@ -225,6 +227,228 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures (see EXPERIMENTS.md).")
     Term.(const run $ only_arg $ list_arg $ scale_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving mode: batch + sweep run through the lib/service subsystem.  *)
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "d"; "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the service pool (1 = run inline).")
+
+let cache_size_arg =
+  Arg.(
+    value
+    & opt int 512
+    & info [ "cache-size" ] ~docv:"K"
+        ~doc:"Solution-cache capacity (entries).")
+
+let batch_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"JSON-lines request file; $(b,-) reads standard input.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write responses here instead of standard output.")
+  in
+  let run file output domains cache_size =
+    let ic =
+      if file = "-" then stdin
+      else
+        try open_in file
+        with Sys_error e ->
+          prerr_endline e;
+          exit 2
+    in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> if file <> "-" then close_in ic);
+    let lines = List.rev !lines in
+    (* Keep line order: parse failures become error responses in place. *)
+    let parsed =
+      List.filteri
+        (fun _ line ->
+          let s = String.trim line in
+          s <> "" && s.[0] <> '#')
+        lines
+      |> List.map Service.Request.of_string
+    in
+    let valid =
+      List.filter_map (function Ok r -> Some r | Error _ -> None) parsed
+    in
+    let api =
+      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains ()
+    in
+    let responses = Service.Api.submit_batch api (Array.of_list valid) in
+    let oc = match output with None -> stdout | Some f -> open_out f in
+    let next_ok = ref 0 in
+    List.iteri
+      (fun i p ->
+        let r =
+          match p with
+          | Ok _ ->
+              let r = responses.(!next_ok) in
+              incr next_ok;
+              { r with Service.Response.id = i }
+          | Error e -> Service.Response.error ~id:i ~hash:"" e
+        in
+        output_string oc (Service.Response.to_string r);
+        output_char oc '\n')
+      parsed;
+    if output <> None then close_out oc else flush stdout;
+    Format.eprintf "%a@." Service.Api.pp_stats (Service.Api.stats api);
+    Service.Api.shutdown api;
+    if List.exists (function Error _ -> true | Ok _ -> false) parsed then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Serve a JSON-lines file of mapping requests (see README, \
+          \"Serving mode\").")
+    Term.(const run $ file_arg $ output_arg $ domains_arg $ cache_size_arg)
+
+let sweep_cmd =
+  let workloads_arg =
+    Arg.(
+      value
+      & opt string "fmm,lu,fft,swim,moldyn"
+      & info [ "w"; "workloads" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark names, or $(b,all).")
+  in
+  let meshes_arg =
+    Arg.(
+      value
+      & opt string "6x6"
+      & info [ "m"; "meshes" ] ~docv:"SIZES"
+          ~doc:"Comma-separated mesh sizes, e.g. $(b,4x4,6x6,8x8).")
+  in
+  let alphas_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "a"; "alphas" ] ~docv:"ALPHAS"
+          ~doc:
+            "Comma-separated shared-LLC α overrides ($(b,default) = no \
+             override).")
+  in
+  let run workloads meshes alphas llc scale domains cache_size =
+    let split s = String.split_on_char ',' s |> List.map String.trim in
+    let names =
+      if workloads = "all" then Workloads.Registry.names else split workloads
+    in
+    List.iter
+      (fun n ->
+        if Workloads.Registry.find_opt n = None then begin
+          Printf.eprintf "unknown benchmark %S; try `locmap list'\n" n;
+          exit 2
+        end)
+      names;
+    let meshes =
+      List.map
+        (fun s ->
+          match String.split_on_char 'x' s with
+          | [ r; c ] -> (
+              match (int_of_string_opt r, int_of_string_opt c) with
+              | Some r, Some c -> (r, c)
+              | _ ->
+                  Printf.eprintf "bad mesh size %S (want RxC)\n" s;
+                  exit 2)
+          | _ ->
+              Printf.eprintf "bad mesh size %S (want RxC)\n" s;
+              exit 2)
+        (split meshes)
+    in
+    let alphas =
+      List.map
+        (fun s ->
+          if s = "default" then None
+          else
+            match float_of_string_opt s with
+            | Some a -> Some a
+            | None ->
+                Printf.eprintf "bad alpha %S\n" s;
+                exit 2)
+        (split alphas)
+    in
+    let requests =
+      List.concat_map
+        (fun name ->
+          List.concat_map
+            (fun (rows, cols) ->
+              List.map
+                (fun alpha ->
+                  let machine =
+                    { (cfg_of llc) with Machine.Config.rows; cols }
+                  in
+                  let options =
+                    { Service.Request.default_options with
+                      alpha_override = alpha
+                    }
+                  in
+                  Service.Request.make ~scale ~machine ~options name)
+                alphas)
+            meshes)
+        names
+      |> Array.of_list
+    in
+    let api =
+      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let responses = Service.Api.submit_batch api requests in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-11s %-7s %-8s %7s %8s %8s %10s\n" "workload" "mesh"
+      "alpha" "sets" "moved%" "alpha~" "overhead";
+    Array.iteri
+      (fun i (r : Service.Response.t) ->
+        let req = requests.(i) in
+        let mesh =
+          Printf.sprintf "%dx%d" req.machine.Machine.Config.rows
+            req.machine.Machine.Config.cols
+        in
+        let alpha =
+          match req.options.Service.Request.alpha_override with
+          | None -> "default"
+          | Some a -> Printf.sprintf "%.2f" a
+        in
+        match r.Service.Response.result with
+        | Ok p ->
+            Printf.printf "%-11s %-7s %-8s %7d %8.1f %8.3f %10d\n"
+              req.Service.Request.workload mesh alpha p.num_sets
+              (100. *. p.moved_fraction)
+              p.alpha_mean p.overhead_cycles
+        | Error e ->
+            Printf.printf "%-11s %-7s %-8s  error: %s\n"
+              req.Service.Request.workload mesh alpha e)
+      responses;
+    Printf.printf "\n%d requests in %.2fs (%.1f req/s, %d domains)\n"
+      (Array.length requests) elapsed
+      (float_of_int (Array.length requests) /. elapsed)
+      domains;
+    Format.printf "%a@." Service.Api.pp_stats (Service.Api.stats api);
+    Service.Api.shutdown api
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a workloads × mesh-sizes × α cross-product through the \
+          service pool.")
+    Term.(
+      const run $ workloads_arg $ meshes_arg $ alphas_arg $ llc_arg
+      $ scale_arg $ domains_arg $ cache_size_arg)
+
 let () =
   let doc = "location-aware computation-to-core mapping (PLDI'18 reproduction)" in
   let default =
@@ -234,4 +458,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "locmap" ~version:"1.0.0" ~doc)
-          [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd; experiments_cmd ]))
+          [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd;
+            experiments_cmd; batch_cmd; sweep_cmd ]))

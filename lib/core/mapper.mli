@@ -13,7 +13,15 @@
     optimised schedule, the matching round-robin baseline, the fraction
     of sets moved by balancing (Table 3), the estimation errors
     (Figures 7a/8a) and the modelled runtime overhead (Figures
-    7c/8c). *)
+    7c/8c).
+
+    {b Thread safety}: this module holds no mutable state. Every run of
+    [map] allocates its own page table (unless one is passed in), RNG
+    (seeded from [cfg.seed], which also makes runs deterministic),
+    caches and working arrays, so concurrent calls from multiple
+    domains — as issued by [Service.Pool] workers — are safe provided
+    callers do not share a mutable [page_table] argument across
+    concurrent calls. *)
 
 type estimation =
   | Cme_estimate  (** compile-time CME summaries (regular applications) *)

@@ -44,9 +44,17 @@ type outcome = {
   info : Locmap.Mapper.info option;
 }
 
+(* Process-wide memo table. Guarded by [cache_lock] so figure drivers
+   may run from multiple domains; racing computations of the same key
+   are allowed (results are deterministic — last store wins). *)
 let cache : (string, outcome) Hashtbl.t = Hashtbl.create 256
+let cache_lock = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset cache
+let with_cache f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let clear_cache () = with_cache (fun () -> Hashtbl.reset cache)
 
 let key cfg prepared strategy =
   Digest.to_hex
@@ -129,11 +137,11 @@ let compute cfg prepared strategy =
 
 let run cfg prepared strategy =
   let k = key cfg prepared strategy in
-  match Hashtbl.find_opt cache k with
+  match with_cache (fun () -> Hashtbl.find_opt cache k) with
   | Some o -> o
   | None ->
       let o = compute cfg prepared strategy in
-      Hashtbl.replace cache k o;
+      with_cache (fun () -> Hashtbl.replace cache k o);
       o
 
 let reduction ~base v =

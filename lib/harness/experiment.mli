@@ -2,7 +2,13 @@
 
     One [prepared] bundle per (benchmark, scale); one [run] per
     (configuration, benchmark, strategy), memoised process-wide so the
-    figure drivers can share results without re-simulating. *)
+    figure drivers can share results without re-simulating.
+
+    {b Thread safety}: the memo table is mutex-protected, so [run] and
+    [clear_cache] may be called from any domain. Concurrent [run]s of
+    the same key may each simulate before one stores — wasted work, not
+    corruption, since outcomes are deterministic. [prepare] allocates
+    fresh state per call and is unconditionally safe. *)
 
 type prepared = {
   entry : Workloads.Registry.entry;

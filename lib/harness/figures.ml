@@ -17,15 +17,24 @@ let knl_apps =
   [ "fmm"; "cholesky"; "fft"; "lu"; "radix"; "mxm"; "hpccg"; "moldyn";
     "diff" ]
 
+(* Mutex-guarded like [Experiment]'s memo table, so figure drivers stay
+   usable from service worker domains. *)
 let prepared_cache : (string * float, Experiment.prepared) Hashtbl.t =
   Hashtbl.create 64
 
+let prepared_lock = Mutex.create ()
+
 let prep ~scale name =
-  match Hashtbl.find_opt prepared_cache (name, scale) with
+  Mutex.lock prepared_lock;
+  let found = Hashtbl.find_opt prepared_cache (name, scale) in
+  Mutex.unlock prepared_lock;
+  match found with
   | Some p -> p
   | None ->
       let p = Experiment.prepare_name ~scale name in
+      Mutex.lock prepared_lock;
       Hashtbl.replace prepared_cache (name, scale) p;
+      Mutex.unlock prepared_lock;
       p
 
 let exec_improvement cfg p strategy =

@@ -1,0 +1,160 @@
+type t = {
+  cache : Response.payload Solution_cache.t;
+  pool : Pool.t;
+  stats_lock : Mutex.t;
+  mutable served : int;
+  mutable errors : int;
+  mutable computed : int;
+}
+
+type stats = {
+  served : int;
+  errors : int;
+  computed : int;
+  cache : Solution_cache.counters;
+  cache_entries : int;
+  cache_capacity : int;
+  num_domains : int;
+}
+
+let create ?(cache_capacity = 512) ?(num_domains = 1) () =
+  {
+    cache = Solution_cache.create ~capacity:cache_capacity ();
+    pool = Pool.create ~num_domains ();
+    stats_lock = Mutex.create ();
+    served = 0;
+    errors = 0;
+    computed = 0;
+  }
+
+let cache (t : t) = t.cache
+
+(* One full pipeline run, on whichever domain the pool schedules it.
+   Everything here is freshly allocated per call — see the thread-safety
+   notes in [Locmap.Mapper] — so workers share nothing mutable. *)
+let compute (req : Request.t) : (Response.payload, string) result =
+  match Workloads.Registry.find_opt req.workload with
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (see `locmap list')" req.workload)
+  | Some entry -> (
+      match Machine.Config.validate req.machine with
+      | Error e -> Error ("invalid machine config: " ^ e)
+      | Ok () -> (
+          try
+            let prog = entry.program ~scale:req.scale () in
+            (* Layouts are 8 KB-aligned, so the default page size keeps
+               them page-aligned for any configured size below 8 KB —
+               same convention as [Harness.Experiment.prepare]. *)
+            let layout =
+              Ir.Layout.allocate
+                ~page_size:Machine.Config.default.Machine.Config.page_size prog
+            in
+            let trace = Ir.Trace.create prog layout in
+            let o = req.options in
+            let estimation =
+              match o.estimation with
+              | Request.Auto -> None
+              | Request.Cme -> Some Locmap.Mapper.Cme_estimate
+              | Request.Inspector -> Some Locmap.Mapper.Inspector
+              | Request.Oracle -> Some Locmap.Mapper.Oracle
+            in
+            let info =
+              Locmap.Mapper.map ?estimation ?fraction:o.fraction
+                ~measure_error:o.measure_error ~balance:o.balance
+                ?alpha_override:o.alpha_override req.machine trace
+            in
+            let r =
+              Response.of_info ~id:0 ~hash:"" ~workload:req.workload info
+            in
+            match r.Response.result with
+            | Ok p -> Ok p
+            | Error _ -> assert false
+          with
+          | Invalid_argument msg -> Error ("mapper rejected request: " ^ msg)
+          | Not_found -> Error "mapper raised Not_found"))
+
+let submit_batch (t : t) (reqs : Request.t array) : Response.t array =
+  let n = Array.length reqs in
+  let hashes = Array.map Request.hash reqs in
+  (* Pass 1 (sequential, submitting domain): cache lookups, and the
+     first-occurrence list of hashes that need computing. Duplicates
+     within the batch are coalesced into one computation. *)
+  let cached = Array.make n None in
+  let todo = ref [] in
+  let pending = Hashtbl.create 16 in
+  Array.iteri
+    (fun i h ->
+      match Solution_cache.find t.cache h with
+      | Some p -> cached.(i) <- Some p
+      | None ->
+          if not (Hashtbl.mem pending h) then begin
+            Hashtbl.add pending h ();
+            todo := (i, h) :: !todo
+          end)
+    hashes;
+  let todo = Array.of_list (List.rev !todo) in
+  (* Pass 2: fan the unique misses across the pool. *)
+  let results = Pool.map t.pool (fun (i, _h) -> compute reqs.(i)) todo in
+  (* Pass 3 (sequential again): store solutions and assemble responses
+     in submission order. *)
+  let solved = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (_, h) ->
+      (match results.(k) with
+      | Ok p -> Solution_cache.add t.cache h p
+      | Error _ -> ());
+      Hashtbl.replace solved h results.(k))
+    todo;
+  let responses =
+    Array.init n (fun i ->
+        match cached.(i) with
+        | Some p -> { Response.id = i; hash = hashes.(i); result = Ok p }
+        | None -> (
+            match Hashtbl.find_opt solved hashes.(i) with
+            | Some r -> { Response.id = i; hash = hashes.(i); result = r }
+            | None -> assert false))
+  in
+  let errors =
+    Array.fold_left
+      (fun acc r -> if Response.is_ok r then acc else acc + 1)
+      0 responses
+  in
+  Mutex.lock t.stats_lock;
+  t.served <- t.served + n;
+  t.errors <- t.errors + errors;
+  t.computed <- t.computed + Array.length todo;
+  Mutex.unlock t.stats_lock;
+  responses
+
+let submit (t : t) req =
+  match submit_batch t [| req |] with
+  | [| r |] -> r
+  | _ -> assert false
+
+let stats (t : t) =
+  Mutex.lock t.stats_lock;
+  let served = t.served and errors = t.errors and computed = t.computed in
+  Mutex.unlock t.stats_lock;
+  {
+    served;
+    errors;
+    computed;
+    cache = Solution_cache.counters t.cache;
+    cache_entries = Solution_cache.length t.cache;
+    cache_capacity = Solution_cache.capacity t.cache;
+    num_domains = Pool.num_domains t.pool;
+  }
+
+let shutdown (t : t) = Pool.shutdown t.pool
+
+let pp_stats ppf s =
+  let total = s.cache.hits + s.cache.misses in
+  let rate =
+    if total = 0 then 0. else 100. *. float_of_int s.cache.hits /. float_of_int total
+  in
+  Format.fprintf ppf
+    "@[<v>served: %d (%d errors, %d computed)@ cache: %d/%d entries, %d \
+     hits / %d misses (%.1f%% hit rate), %d evictions@ domains: %d@]"
+    s.served s.errors s.computed s.cache_entries s.cache_capacity s.cache.hits
+    s.cache.misses rate s.cache.evictions s.num_domains

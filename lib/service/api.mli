@@ -1,0 +1,55 @@
+(** The service front-end: submit mapping requests, get responses.
+
+    An [Api.t] owns a {!Solution_cache} and a {!Pool}. {!submit_batch}
+    looks every request up in the cache, deduplicates the misses by
+    canonical hash, fans the unique computations across the pool's
+    domains — each worker independently runs workload synthesis, trace
+    compilation and the full analyse→assign→balance pipeline
+    ({!Locmap.Mapper.map}) — stores the solutions, and assembles
+    responses in submission order.
+
+    {b Determinism}: the mapper is deterministic for a given request
+    (its RNG is seeded from the machine configuration), cache lookups
+    and stores happen on the submitting domain in submission order, and
+    workers never share mutable state; so a batch's responses — and the
+    cache counters — are byte-identical whether the pool runs 0 or 8
+    worker domains, and whether a solution was computed or served from
+    cache. The [test/test_service.ml] determinism suite asserts this.
+
+    Failures (unknown workload, invalid configuration, mapper
+    exceptions) become [Error] responses; they are reported but never
+    cached, and never take down the batch. *)
+
+type t
+
+type stats = {
+  served : int;  (** requests answered (ok + error) since creation *)
+  errors : int;  (** error responses among them *)
+  computed : int;  (** pipeline executions (cache misses actually run) *)
+  cache : Solution_cache.counters;
+  cache_entries : int;
+  cache_capacity : int;
+  num_domains : int;  (** worker domains in the pool *)
+}
+
+val create : ?cache_capacity:int -> ?num_domains:int -> unit -> t
+(** [cache_capacity] defaults to 512 solutions; [num_domains] to 1
+    (inline execution, no spawned domains). *)
+
+val submit : t -> Request.t -> Response.t
+(** Single-request convenience: a one-element {!submit_batch} (the
+    response's [id] is 0). *)
+
+val submit_batch : t -> Request.t array -> Response.t array
+(** Responses in submission order, [id] = submission index. *)
+
+val stats : t -> stats
+
+val cache : t -> Response.payload Solution_cache.t
+(** The underlying cache (shared, thread-safe). *)
+
+val shutdown : t -> unit
+(** Joins the pool's domains. The cache stays readable; further
+    submissions raise. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,104 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_domains () =
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if pool.stop then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | None -> default_domains ()
+    | Some n when n < 0 -> invalid_arg "Pool.create: negative num_domains"
+    | Some n -> n
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  if n > 1 then
+    pool.workers <- Array.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let num_domains t = Array.length t.workers
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+type 'b slot = Pending | Done of 'b | Failed of exn
+
+let map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if Array.length t.workers = 0 then begin
+    if t.stop then invalid_arg "Pool.map: pool is shut down";
+    Array.map f xs
+  end
+  else begin
+    let results = Array.make n Pending in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = try Done (f x) with e -> Failed e in
+            Mutex.lock batch_lock;
+            results.(i) <- r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal batch_done;
+            Mutex.unlock batch_lock))
+      xs;
+    Mutex.lock batch_lock;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    Array.map
+      (function
+        | Done r -> r
+        | Failed e -> raise e
+        | Pending -> assert false)
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers

@@ -1,0 +1,43 @@
+(** A fixed-size pool of OCaml 5 domains fed by a mutex-protected work
+    queue.
+
+    [create ~num_domains ()] spawns [num_domains] worker domains that
+    block on the queue; {!map} fans an array of independent jobs across
+    them and collects results in submission order, so callers see a
+    parallel [Array.map]. Jobs must be self-contained: they may share
+    immutable data and thread-safe structures (e.g. {!Solution_cache})
+    but must not submit work back into the same pool (a job waiting on
+    its own pool can deadlock once all workers are occupied).
+
+    Exceptions raised by a job are caught on the worker, carried back,
+    and re-raised in the calling domain by {!map} after every other job
+    of the batch has finished — one failing job never wedges the pool.
+
+    A pool with [num_domains <= 1] spawns no domains at all and runs
+    jobs inline in the caller; the sequential and parallel paths execute
+    the same code in the same submission order, which is what makes the
+    determinism guarantee of {!Api.submit_batch} checkable. *)
+
+type t
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count () - 1)], at least 1 — a
+    sensible worker count that leaves the submitting domain a core. *)
+
+val create : ?num_domains:int -> unit -> t
+(** Defaults to {!default_domains}. Raises [Invalid_argument] on a
+    negative count. *)
+
+val num_domains : t -> int
+(** Worker domains actually spawned (0 for an inline pool). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], submission order preserved. Safe to call
+    repeatedly; concurrent calls from different domains interleave
+    their jobs in the shared queue. Raises the (first-indexed) job
+    exception after the whole batch has drained. *)
+
+val shutdown : t -> unit
+(** Drains nothing: waits only for already-running jobs, then joins the
+    workers. Idempotent. Calling {!map} after shutdown raises
+    [Invalid_argument]. *)

@@ -1,0 +1,77 @@
+type payload = {
+  workload : string;
+  num_sets : int;
+  estimation : string;
+  moved_fraction : float;
+  alpha_mean : float;
+  mai_error : float;
+  cai_error : float;
+  overhead_cycles : int;
+  region_of_set : int array;
+  core_of : int array;
+}
+
+type t = {
+  id : int;
+  hash : string;
+  result : (payload, string) result;
+}
+
+let estimation_name = function
+  | Locmap.Mapper.Cme_estimate -> "cme"
+  | Locmap.Mapper.Inspector -> "inspector"
+  | Locmap.Mapper.Oracle -> "oracle"
+
+let of_info ~id ~hash ~workload (info : Locmap.Mapper.info) =
+  {
+    id;
+    hash;
+    result =
+      Ok
+        {
+          workload;
+          num_sets = Array.length info.sets;
+          estimation = estimation_name info.estimation;
+          moved_fraction = info.moved_fraction;
+          alpha_mean = info.alpha_mean;
+          mai_error = info.mai_error;
+          cai_error = info.cai_error;
+          overhead_cycles = info.overhead_cycles;
+          region_of_set = info.region_of_set;
+          core_of = info.schedule.Machine.Schedule.core_of;
+        };
+  }
+
+let error ~id ~hash msg = { id; hash; result = Error msg }
+
+let is_ok t = Result.is_ok t.result
+
+let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let to_json t =
+  let common = [ ("id", Json.Int t.id); ("hash", Json.String t.hash) ] in
+  match t.result with
+  | Ok p ->
+      Json.Obj
+        (common
+        @ [
+            ("ok", Json.Bool true);
+            ( "result",
+              Json.Obj
+                [
+                  ("workload", Json.String p.workload);
+                  ("num_sets", Json.Int p.num_sets);
+                  ("estimation", Json.String p.estimation);
+                  ("moved_fraction", Json.Float p.moved_fraction);
+                  ("alpha_mean", Json.Float p.alpha_mean);
+                  ("mai_error", Json.Float p.mai_error);
+                  ("cai_error", Json.Float p.cai_error);
+                  ("overhead_cycles", Json.Int p.overhead_cycles);
+                  ("region_of_set", int_array p.region_of_set);
+                  ("core_of", int_array p.core_of);
+                ] );
+          ])
+  | Error e ->
+      Json.Obj (common @ [ ("ok", Json.Bool false); ("error", Json.String e) ])
+
+let to_string t = Json.to_string (to_json t)

@@ -1,0 +1,43 @@
+(** Mapping responses.
+
+    A response pairs a batch-local request id and the request's
+    canonical hash with either a {!payload} — the mapper's result,
+    reduced to the serializable facts a client needs to apply the
+    mapping — or an error message. Payloads are immutable and shared:
+    {!Solution_cache} hands the same payload to every request with the
+    same hash, and {!to_string} prints deterministically, so equal
+    results serialize byte-identically regardless of which domain (or
+    which cache hit) produced them. *)
+
+type payload = {
+  workload : string;
+  num_sets : int;  (** iteration sets in the schedule *)
+  estimation : string;  (** estimation mode actually used *)
+  moved_fraction : float;  (** sets moved by load balancing *)
+  alpha_mean : float;
+  mai_error : float;
+  cai_error : float;
+  overhead_cycles : int;
+  region_of_set : int array;  (** post-balance region per set *)
+  core_of : int array;  (** chosen core per set — the mapping itself *)
+}
+
+type t = {
+  id : int;  (** submission index within the batch *)
+  hash : string;  (** the request's {!Request.hash} *)
+  result : (payload, string) result;
+}
+
+val of_info : id:int -> hash:string -> workload:string -> Locmap.Mapper.info -> t
+(** Projects a mapper result into a response payload. *)
+
+val error : id:int -> hash:string -> string -> t
+
+val is_ok : t -> bool
+
+val to_json : t -> Json.t
+(** [{"id": .., "hash": .., "ok": true, "result": {..}}] on success,
+    [{"id": .., "hash": .., "ok": false, "error": ".."}] on failure. *)
+
+val to_string : t -> string
+(** One JSON line (no trailing newline), deterministic. *)

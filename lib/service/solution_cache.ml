@@ -1,0 +1,143 @@
+(* Classic hash-table + doubly-linked-list LRU. The list runs from
+   most-recently used (head) to least (tail); the table maps key to its
+   list node for O(1) touch/remove. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Solution_cache.create: capacity < 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.cap
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+(* List surgery; all callers hold the lock. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          touch t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+let add t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          n.value <- value;
+          touch t n
+      | None ->
+          if Hashtbl.length t.table >= t.cap then begin
+            match t.tail with
+            | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.key;
+                t.evictions <- t.evictions + 1
+            | None -> assert false
+          end;
+          let n = { key; value; prev = None; next = None } in
+          push_front t n;
+          Hashtbl.replace t.table key n;
+          t.insertions <- t.insertions + 1)
+
+let keys_mru t =
+  locked t (fun () ->
+      let rec collect acc = function
+        | None -> List.rev acc
+        | Some n -> collect (n.key :: acc) n.next
+      in
+      collect [] t.head)
+
+let counters t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        insertions = t.insertions;
+        evictions = t.evictions;
+      })
+
+let hit_rate t =
+  locked t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+
+let reset_counters t =
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.insertions <- 0;
+      t.evictions <- 0)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.insertions <- 0;
+      t.evictions <- 0)

@@ -1,0 +1,55 @@
+(** Size-bounded LRU cache of mapping solutions.
+
+    Keys are {!Request.hash} digests; values are whatever solved
+    artifact the caller stores (the service stores
+    {!Response.payload}s). Capacity is a hard bound on entry count:
+    inserting into a full cache evicts the least-recently-used entry.
+    Both {!find} and {!add} refresh recency.
+
+    Thread safety: every operation takes an internal mutex, so a cache
+    may be shared freely across domains. Counter updates are atomic
+    with the operation that caused them, but a find/add pair is not a
+    transaction — under concurrent misses of the same key both callers
+    may compute and store (last store wins, which is harmless for
+    deterministic solutions). {!Api} avoids even that by deduplicating
+    batches before dispatch. *)
+
+type 'a t
+
+type counters = {
+  hits : int;
+  misses : int;  (** [find]s that returned [None] *)
+  insertions : int;  (** [add]s of a key not already present *)
+  evictions : int;  (** entries dropped by capacity pressure *)
+}
+
+val create : capacity:int -> unit -> 'a t
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and refreshes recency) or a miss. *)
+
+val mem : 'a t -> string -> bool
+(** Counter- and recency-neutral membership probe. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (evicting the LRU entry if full) or — for a present key —
+    replaces the value and refreshes recency without counting an
+    insertion. *)
+
+val keys_mru : 'a t -> string list
+(** Keys from most- to least-recently used (a test/debug view). *)
+
+val counters : 'a t -> counters
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)]; 0 before any [find]. *)
+
+val reset_counters : 'a t -> unit
+
+val clear : 'a t -> unit
+(** Drops all entries (not counted as evictions) and resets counters. *)

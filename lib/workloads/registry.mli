@@ -4,7 +4,12 @@
     (index-array based, inspector–executor) in the same proportions the
     paper's Table 3 lists. Every entry is a synthetic kernel whose
     access-pattern shape follows the original application — see
-    DESIGN.md for the substitution rationale. *)
+    DESIGN.md for the substitution rationale.
+
+    {b Thread safety}: the registry is immutable after module
+    initialisation and every [program] constructor builds a fresh,
+    deterministic program from its arguments alone, so entries may be
+    resolved and instantiated concurrently from any domain. *)
 
 type entry = {
   name : string;
