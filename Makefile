@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all check test bench bench-service sweep clean
+.PHONY: all check test bench bench-service bench-resilience chaos sweep clean
 
 all:
 	dune build
@@ -19,6 +19,21 @@ bench:
 # solution-cache hit rate under a Zipf-skewed request mix.
 bench-service:
 	dune exec bench/service_bench.exe
+
+# Resilience-layer cost: wrapper overhead with injection disabled
+# (p50/p99, target < 2%) and degraded-path vs full-pipeline latency.
+bench-resilience:
+	dune exec bench/resilience_bench.exe
+
+# Chaos gate: the resilience suite (fault matrix, deadlines, crash
+# isolation, 1/2/4/8-domain byte-determinism under injection) repeated
+# under three fixed seeds that parameterise the injection plans.
+chaos:
+	dune build test/test_resilience.exe
+	@for seed in 1 42 1337; do \
+	  echo "== CHAOS_SEED=$$seed =="; \
+	  CHAOS_SEED=$$seed dune exec test/test_resilience.exe || exit 1; \
+	done
 
 # Small end-to-end sweep through the service pool.
 sweep:

@@ -244,6 +244,46 @@ let cache_size_arg =
     & info [ "cache-size" ] ~docv:"K"
         ~doc:"Solution-cache capacity (entries).")
 
+(* Resilience knobs shared by batch and sweep (see README,
+   "Resilience"). *)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in milliseconds, checked at pipeline \
+           phase boundaries; an overrun fails (or, with $(b,--degrade), \
+           degrades) the request.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int Service.Resilience.default.Service.Resilience.max_retries
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retries (with exponential backoff) for transient faults, on \
+           top of the first attempt.")
+
+let degrade_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "degrade" ]
+        ~doc:
+          "On deadline overrun, worker crash or exhausted retries, \
+           answer with the cheap fallback mapping (flagged \
+           \"degraded\": true) instead of an error.")
+
+let policy_of deadline_ms max_retries degrade =
+  {
+    Service.Resilience.default with
+    Service.Resilience.deadline_ms;
+    max_retries;
+    degrade;
+  }
+
 let batch_cmd =
   let file_arg =
     Arg.(
@@ -259,7 +299,17 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write responses here instead of standard output.")
   in
-  let run file output domains cache_size =
+  let strict_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "strict" ]
+          ~doc:
+            "Abort on the first malformed request line instead of \
+             answering it with a per-line error response.")
+  in
+  let run file output domains cache_size deadline_ms max_retries degrade
+      strict =
     let ic =
       if file = "-" then stdin
       else
@@ -275,49 +325,66 @@ let batch_cmd =
        done
      with End_of_file -> if file <> "-" then close_in ic);
     let lines = List.rev !lines in
-    (* Keep line order: parse failures become error responses in place. *)
+    (* Keep line order: a malformed line is skipped with an in-place
+       error response naming its (1-based) file line, so one bad line
+       never aborts the stream — unless --strict asks it to. *)
     let parsed =
-      List.filteri
-        (fun _ line ->
-          let s = String.trim line in
-          s <> "" && s.[0] <> '#')
-        lines
-      |> List.map Service.Request.of_string
+      List.mapi (fun i line -> (i + 1, line)) lines
+      |> List.filter (fun (_, line) ->
+             let s = String.trim line in
+             s <> "" && s.[0] <> '#')
+      |> List.map (fun (ln, line) ->
+             match Service.Request.of_string line with
+             | Ok r -> (ln, Ok r)
+             | Error e ->
+                 if strict then begin
+                   Printf.eprintf "%s: line %d: %s\n"
+                     (if file = "-" then "stdin" else file)
+                     ln e;
+                   exit 2
+                 end;
+                 ( ln,
+                   Error
+                     (Service.Fault.Invalid_request
+                        (Printf.sprintf "line %d: %s" ln e)) ))
     in
     let valid =
-      List.filter_map (function Ok r -> Some r | Error _ -> None) parsed
+      List.filter_map
+        (function _, Ok r -> Some r | _, Error _ -> None)
+        parsed
     in
     let api =
-      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains ()
+      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains
+        ~resilience:(policy_of deadline_ms max_retries degrade) ()
     in
     let responses = Service.Api.submit_batch api (Array.of_list valid) in
     let oc = match output with None -> stdout | Some f -> open_out f in
     let next_ok = ref 0 in
     List.iteri
-      (fun i p ->
+      (fun i (_, p) ->
         let r =
           match p with
           | Ok _ ->
               let r = responses.(!next_ok) in
               incr next_ok;
               { r with Service.Response.id = i }
-          | Error e -> Service.Response.error ~id:i ~hash:"" e
+          | Error f -> Service.Response.error ~id:i ~hash:"" f
         in
         output_string oc (Service.Response.to_string r);
         output_char oc '\n')
       parsed;
     if output <> None then close_out oc else flush stdout;
     Format.eprintf "%a@." Service.Api.pp_stats (Service.Api.stats api);
-    Service.Api.shutdown api;
-    if List.exists (function Error _ -> true | Ok _ -> false) parsed then
-      exit 1
+    Service.Api.shutdown api
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Serve a JSON-lines file of mapping requests (see README, \
           \"Serving mode\").")
-    Term.(const run $ file_arg $ output_arg $ domains_arg $ cache_size_arg)
+    Term.(
+      const run $ file_arg $ output_arg $ domains_arg $ cache_size_arg
+      $ deadline_arg $ max_retries_arg $ degrade_arg $ strict_arg)
 
 let sweep_cmd =
   let workloads_arg =
@@ -343,7 +410,8 @@ let sweep_cmd =
             "Comma-separated shared-LLC α overrides ($(b,default) = no \
              override).")
   in
-  let run workloads meshes alphas llc scale domains cache_size =
+  let run workloads meshes alphas llc scale domains cache_size deadline_ms
+      max_retries degrade =
     let split s = String.split_on_char ',' s |> List.map String.trim in
     let names =
       if workloads = "all" then Workloads.Registry.names else split workloads
@@ -404,7 +472,8 @@ let sweep_cmd =
       |> Array.of_list
     in
     let api =
-      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains ()
+      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains
+        ~resilience:(policy_of deadline_ms max_retries degrade) ()
     in
     let t0 = Unix.gettimeofday () in
     let responses = Service.Api.submit_batch api requests in
@@ -425,13 +494,15 @@ let sweep_cmd =
         in
         match r.Service.Response.result with
         | Ok p ->
-            Printf.printf "%-11s %-7s %-8s %7d %8.1f %8.3f %10d\n"
+            Printf.printf "%-11s %-7s %-8s %7d %8.1f %8.3f %10d%s\n"
               req.Service.Request.workload mesh alpha p.num_sets
               (100. *. p.moved_fraction)
               p.alpha_mean p.overhead_cycles
-        | Error e ->
+              (if p.degraded then "  (degraded)" else "")
+        | Error f ->
             Printf.printf "%-11s %-7s %-8s  error: %s\n"
-              req.Service.Request.workload mesh alpha e)
+              req.Service.Request.workload mesh alpha
+              (Service.Fault.to_string f))
       responses;
     Printf.printf "\n%d requests in %.2fs (%.1f req/s, %d domains)\n"
       (Array.length requests) elapsed
@@ -447,7 +518,8 @@ let sweep_cmd =
           service pool.")
     Term.(
       const run $ workloads_arg $ meshes_arg $ alphas_arg $ llc_arg
-      $ scale_arg $ domains_arg $ cache_size_arg)
+      $ scale_arg $ domains_arg $ cache_size_arg $ deadline_arg
+      $ max_retries_arg $ degrade_arg)
 
 let () =
   let doc = "location-aware computation-to-core mapping (PLDI'18 reproduction)" in

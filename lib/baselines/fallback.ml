@@ -1,0 +1,33 @@
+type t = {
+  sets : Ir.Iter_set.t array;
+  region_of_set : int array;
+  core_of : int array;
+  schedule : Machine.Schedule.t;
+}
+
+let map ?fraction (cfg : Machine.Config.t) prog =
+  let fraction =
+    Option.value fraction ~default:cfg.Machine.Config.iter_set_fraction
+  in
+  let sets = Ir.Iter_set.partition prog ~fraction in
+  let regions = Locmap.Region.create cfg in
+  let num_regions = Locmap.Region.count regions in
+  let num_cores = Machine.Config.num_cores cfg in
+  let n = Array.length sets in
+  let region_of_set = Array.init n (fun k -> k mod num_regions) in
+  let loads = Array.make num_cores 0 in
+  let core_of = Array.make n 0 in
+  Array.iteri
+    (fun k r ->
+      let nodes = Locmap.Region.nodes_of regions r in
+      let best = ref nodes.(0) in
+      Array.iter (fun c -> if loads.(c) < loads.(!best) then best := c) nodes;
+      core_of.(k) <- !best;
+      loads.(!best) <- loads.(!best) + Ir.Iter_set.size sets.(k))
+    region_of_set;
+  {
+    sets;
+    region_of_set;
+    core_of;
+    schedule = Machine.Schedule.make ~sets ~core_of;
+  }

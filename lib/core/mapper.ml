@@ -107,7 +107,8 @@ let default_schedule ?fraction (cfg : Machine.Config.t) trace =
   Machine.Schedule.round_robin ~num_cores:(Machine.Config.num_cores cfg) sets
 
 let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
-    ?(balance = true) ?alpha_override (cfg : Machine.Config.t) trace =
+    ?(balance = true) ?alpha_override ?(on_phase = fun (_ : string) -> ())
+    (cfg : Machine.Config.t) trace =
   let prog = Ir.Trace.program trace in
   let estimation =
     Option.value estimation ~default:(default_estimation prog)
@@ -123,6 +124,7 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
   let amap = Machine.Addr_map.create cfg pt in
   let regions = Region.create cfg in
   let sets = Ir.Iter_set.partition prog ~fraction in
+  on_phase "partition";
   (* Summarise every set under the requested estimation mode. *)
   let summaries, mai_error, cai_error =
     match estimation with
@@ -149,8 +151,10 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         let _, warm = Analysis.observed_summaries cfg amap trace ~sets in
         (warm, 0., 0.)
   in
+  on_phase "summarise";
   let tables = Assign.create ?alpha_override cfg regions in
   let pre_balance_region = Assign.assign tables summaries in
+  on_phase "assign";
   (* Algorithm 1 runs once per parallel loop nest: balancing (and the
      in-region placement below) must level each nest's load separately,
      because nests are barrier-separated phases. *)
@@ -181,6 +185,7 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         in
         Array.blit balanced 0 region_of_set lo len)
       nest_slices;
+  on_phase "balance";
   let moved =
     let n = Array.length region_of_set in
     if n = 0 then 0.
@@ -217,6 +222,7 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
       in
       Array.blit sub_core 0 core_of lo len)
     nest_slices;
+  on_phase "place";
   let alpha_mean =
     if Array.length summaries = 0 then 0.5
     else

@@ -54,6 +54,7 @@ val map :
   ?cores:int array ->
   ?balance:bool ->
   ?alpha_override:float ->
+  ?on_phase:(string -> unit) ->
   Machine.Config.t ->
   Ir.Trace.t ->
   info
@@ -66,7 +67,13 @@ val map :
     to the allowed cores nearest to it. [balance] (default [true])
     disables the load-balancing pass when [false] and [alpha_override]
     fixes the shared-LLC α weight — both are ablation knobs for the
-    design-choice studies. *)
+    design-choice studies.
+
+    [on_phase] is called at each pipeline phase boundary, in order:
+    ["partition"], ["summarise"], ["assign"], ["balance"], ["place"] —
+    the serving layer's deadline checks and fault-injection points hang
+    off it. The hook may raise to abort the run (the exception
+    propagates to the caller); it must not mutate mapper inputs. *)
 
 val default_schedule :
   ?fraction:float -> Machine.Config.t -> Ir.Trace.t -> Machine.Schedule.t

@@ -1,85 +1,159 @@
 type t = {
   cache : Response.payload Solution_cache.t;
   pool : Pool.t;
+  resilience : Resilience.policy;
+  injection : Fault_injection.plan;
   stats_lock : Mutex.t;
   mutable served : int;
   mutable errors : int;
   mutable computed : int;
+  mutable degraded : int;
+  mutable retried : int;
 }
 
 type stats = {
   served : int;
   errors : int;
   computed : int;
+  degraded : int;
+  retried : int;
+  crashes : int;
   cache : Solution_cache.counters;
   cache_entries : int;
   cache_capacity : int;
   num_domains : int;
 }
 
-let create ?(cache_capacity = 512) ?(num_domains = 1) () =
+let create ?(cache_capacity = 512) ?(num_domains = 1)
+    ?(resilience = Resilience.default) ?(injection = Fault_injection.none) ()
+    =
   {
     cache = Solution_cache.create ~capacity:cache_capacity ();
     pool = Pool.create ~num_domains ();
+    resilience;
+    injection;
     stats_lock = Mutex.create ();
     served = 0;
     errors = 0;
     computed = 0;
+    degraded = 0;
+    retried = 0;
   }
 
 let cache (t : t) = t.cache
+let resilience (t : t) = t.resilience
 
 (* One full pipeline run, on whichever domain the pool schedules it.
    Everything here is freshly allocated per call — see the thread-safety
    notes in [Locmap.Mapper] — so workers share nothing mutable. *)
-let compute (req : Request.t) : (Response.payload, string) result =
+let plain_compute ?on_phase (req : Request.t) :
+    (Response.payload, Fault.t) result =
   match Workloads.Registry.find_opt req.workload with
-  | None ->
-      Error
-        (Printf.sprintf "unknown workload %S (see `locmap list')" req.workload)
+  | None -> Error (Fault.Unknown_workload req.workload)
   | Some entry -> (
-      match Machine.Config.validate req.machine with
-      | Error e -> Error ("invalid machine config: " ^ e)
-      | Ok () -> (
-          try
-            let prog = entry.program ~scale:req.scale () in
-            (* Layouts are 8 KB-aligned, so the default page size keeps
-               them page-aligned for any configured size below 8 KB —
-               same convention as [Harness.Experiment.prepare]. *)
-            let layout =
-              Ir.Layout.allocate
-                ~page_size:Machine.Config.default.Machine.Config.page_size prog
-            in
-            let trace = Ir.Trace.create prog layout in
-            let o = req.options in
-            let estimation =
-              match o.estimation with
-              | Request.Auto -> None
-              | Request.Cme -> Some Locmap.Mapper.Cme_estimate
-              | Request.Inspector -> Some Locmap.Mapper.Inspector
-              | Request.Oracle -> Some Locmap.Mapper.Oracle
-            in
-            let info =
-              Locmap.Mapper.map ?estimation ?fraction:o.fraction
-                ~measure_error:o.measure_error ~balance:o.balance
-                ?alpha_override:o.alpha_override req.machine trace
-            in
-            let r =
-              Response.of_info ~id:0 ~hash:"" ~workload:req.workload info
-            in
-            match r.Response.result with
-            | Ok p -> Ok p
-            | Error _ -> assert false
-          with
-          | Invalid_argument msg -> Error ("mapper rejected request: " ^ msg)
-          | Not_found -> Error "mapper raised Not_found"))
+      if req.scale <= 0. then
+        Error (Fault.Invalid_request "scale must be positive")
+      else
+        match Machine.Config.validate req.machine with
+        | Error e -> Error (Fault.Invalid_request ("invalid machine config: " ^ e))
+        | Ok () -> (
+            try
+              let prog = entry.program ~scale:req.scale () in
+              (* Layouts are 8 KB-aligned, so the default page size keeps
+                 them page-aligned for any configured size below 8 KB —
+                 same convention as [Harness.Experiment.prepare]. *)
+              let layout =
+                Ir.Layout.allocate
+                  ~page_size:Machine.Config.default.Machine.Config.page_size
+                  prog
+              in
+              let trace = Ir.Trace.create prog layout in
+              let o = req.options in
+              let estimation =
+                match o.estimation with
+                | Request.Auto -> None
+                | Request.Cme -> Some Locmap.Mapper.Cme_estimate
+                | Request.Inspector -> Some Locmap.Mapper.Inspector
+                | Request.Oracle -> Some Locmap.Mapper.Oracle
+              in
+              let info =
+                Locmap.Mapper.map ?estimation ?fraction:o.fraction
+                  ~measure_error:o.measure_error ~balance:o.balance
+                  ?alpha_override:o.alpha_override ?on_phase req.machine trace
+              in
+              let r =
+                Response.of_info ~id:0 ~hash:"" ~workload:req.workload info
+              in
+              match r.Response.result with
+              | Ok p -> Ok p
+              | Error _ -> assert false
+            with
+            | Fault.Crash _ as c ->
+                (* Simulated domain death must reach the pool's crash
+                   handler, not the per-request classifier. *)
+                raise c
+            | e -> Error (Fault.of_exn e)))
+
+(* The resilience wrapper: injection points, per-request monotonic
+   deadline checked at phase boundaries, bounded retry for transient
+   faults. Returns the final result plus the retries spent. When the
+   policy is off and no plan is loaded this is bypassed entirely, so
+   the no-fault overhead is one branch. *)
+let compute (t : t) ~index ~hash (req : Request.t) :
+    (Response.payload, Fault.t) result * int =
+  if Resilience.is_off t.resilience && Fault_injection.is_none t.injection
+  then (plain_compute req, 0)
+  else
+    let deadline = Resilience.Deadline.start t.resilience in
+    Resilience.with_retries t.resilience ~key:hash ~deadline (fun ~attempt ->
+        try
+          Fault_injection.fire t.injection ~site:"compute" ~key:hash ~index
+            ~attempt;
+          Resilience.Deadline.check deadline ~phase:"start";
+          let on_phase phase =
+            Fault_injection.fire t.injection ~site:("mapper." ^ phase)
+              ~key:hash ~index ~attempt;
+            Resilience.Deadline.check deadline ~phase
+          in
+          plain_compute ~on_phase req
+        with
+        | Fault.Crash _ as c -> raise c
+        | Fault.Error f -> Error f)
+
+(* Graceful degradation: a cheap, analysis-free fallback mapping for a
+   well-formed request whose pipeline run failed. Runs on the
+   submitting domain (it is O(sets), no trace or replay), so the
+   degraded path is deterministic regardless of pool width. *)
+let degrade (req : Request.t) ~hash fault :
+    (Response.payload, Fault.t) result =
+  match Workloads.Registry.find_opt req.workload with
+  | None -> Error fault
+  | Some entry -> (
+      try
+        let prog = entry.program ~scale:req.scale () in
+        let fb =
+          Baselines.Fallback.map ?fraction:req.options.Request.fraction
+            req.machine prog
+        in
+        let r =
+          Response.of_fallback ~id:0 ~hash ~workload:req.workload ~fault fb
+        in
+        match r.Response.result with
+        | Ok p -> Ok p
+        | Error _ -> assert false
+      with Fault.Error _ | Invalid_argument _ | Not_found | Failure _ ->
+        (* The fallback itself failed: report the original fault. *)
+        Error fault)
 
 let submit_batch (t : t) (reqs : Request.t array) : Response.t array =
   let n = Array.length reqs in
   let hashes = Array.map Request.hash reqs in
   (* Pass 1 (sequential, submitting domain): cache lookups, and the
      first-occurrence list of hashes that need computing. Duplicates
-     within the batch are coalesced into one computation. *)
+     within the batch are coalesced into one computation. The todo
+     index [k] is part of each task's identity for fault injection —
+     and is deterministic, because it depends only on submission
+     order. *)
   let cached = Array.make n None in
   let todo = ref [] in
   let pending = Hashtbl.create 16 in
@@ -93,18 +167,44 @@ let submit_batch (t : t) (reqs : Request.t array) : Response.t array =
             todo := (i, h) :: !todo
           end)
     hashes;
-  let todo = Array.of_list (List.rev !todo) in
-  (* Pass 2: fan the unique misses across the pool. *)
-  let results = Pool.map t.pool (fun (i, _h) -> compute reqs.(i)) todo in
-  (* Pass 3 (sequential again): store solutions and assemble responses
-     in submission order. *)
+  let todo =
+    Array.of_list (List.rev !todo) |> Array.mapi (fun k (i, h) -> (k, i, h))
+  in
+  (* Pass 2: fan the unique misses across the pool. [try_map] isolates
+     every task failure — including a worker-domain crash — to that
+     task's own slot, so the batch always drains. *)
+  let raw =
+    Pool.try_map t.pool
+      (fun (k, i, h) -> compute t ~index:k ~hash:h reqs.(i))
+      todo
+  in
+  (* Pass 3 (sequential again): classify crashes, degrade if the policy
+     says so, store cacheable solutions, and assemble responses in
+     submission order. Degraded payloads are never cached: the cheap
+     fallback must not shadow the real solution once the fault clears. *)
+  let retried = ref 0 in
   let solved = Hashtbl.create 16 in
-  Array.iteri
-    (fun k (_, h) ->
-      (match results.(k) with
-      | Ok p -> Solution_cache.add t.cache h p
-      | Error _ -> ());
-      Hashtbl.replace solved h results.(k))
+  Array.iter
+    (fun (k, i, h) ->
+      let result =
+        match raw.(k) with
+        | Ok (res, retries) ->
+            retried := !retried + retries;
+            res
+        | Error e -> Error (Fault.of_exn e)
+      in
+      let result =
+        match result with
+        | Ok _ as ok -> ok
+        | Error f when t.resilience.Resilience.degrade && Fault.degradable f
+          ->
+            degrade reqs.(i) ~hash:h f
+        | Error _ as err -> err
+      in
+      (match result with
+      | Ok p when not p.Response.degraded -> Solution_cache.add t.cache h p
+      | Ok _ | Error _ -> ());
+      Hashtbl.replace solved h result)
     todo;
   let responses =
     Array.init n (fun i ->
@@ -113,17 +213,23 @@ let submit_batch (t : t) (reqs : Request.t array) : Response.t array =
         | None -> (
             match Hashtbl.find_opt solved hashes.(i) with
             | Some r -> { Response.id = i; hash = hashes.(i); result = r }
-            | None -> assert false))
+            | None ->
+                (* Every non-cached hash was queued in pass 1 and solved
+                   in pass 3; unreachable by construction. *)
+                assert false))
   in
-  let errors =
-    Array.fold_left
-      (fun acc r -> if Response.is_ok r then acc else acc + 1)
-      0 responses
-  in
+  let errors = ref 0 and degraded = ref 0 in
+  Array.iter
+    (fun r ->
+      if not (Response.is_ok r) then incr errors;
+      if Response.is_degraded r then incr degraded)
+    responses;
   Mutex.lock t.stats_lock;
   t.served <- t.served + n;
-  t.errors <- t.errors + errors;
+  t.errors <- t.errors + !errors;
   t.computed <- t.computed + Array.length todo;
+  t.degraded <- t.degraded + !degraded;
+  t.retried <- t.retried + !retried;
   Mutex.unlock t.stats_lock;
   responses
 
@@ -134,12 +240,19 @@ let submit (t : t) req =
 
 let stats (t : t) =
   Mutex.lock t.stats_lock;
-  let served = t.served and errors = t.errors and computed = t.computed in
+  let served = t.served
+  and errors = t.errors
+  and computed = t.computed
+  and degraded = t.degraded
+  and retried = t.retried in
   Mutex.unlock t.stats_lock;
   {
     served;
     errors;
     computed;
+    degraded;
+    retried;
+    crashes = Pool.crashes t.pool;
     cache = Solution_cache.counters t.cache;
     cache_entries = Solution_cache.length t.cache;
     cache_capacity = Solution_cache.capacity t.cache;
@@ -151,10 +264,13 @@ let shutdown (t : t) = Pool.shutdown t.pool
 let pp_stats ppf s =
   let total = s.cache.hits + s.cache.misses in
   let rate =
-    if total = 0 then 0. else 100. *. float_of_int s.cache.hits /. float_of_int total
+    if total = 0 then 0.
+    else 100. *. float_of_int s.cache.hits /. float_of_int total
   in
   Format.fprintf ppf
-    "@[<v>served: %d (%d errors, %d computed)@ cache: %d/%d entries, %d \
-     hits / %d misses (%.1f%% hit rate), %d evictions@ domains: %d@]"
-    s.served s.errors s.computed s.cache_entries s.cache_capacity s.cache.hits
-    s.cache.misses rate s.cache.evictions s.num_domains
+    "@[<v>served: %d (%d errors, %d degraded, %d computed, %d retries, %d \
+     worker crashes)@ cache: %d/%d entries, %d hits / %d misses (%.1f%% hit \
+     rate), %d evictions@ domains: %d@]"
+    s.served s.errors s.degraded s.computed s.retried s.crashes
+    s.cache_entries s.cache_capacity s.cache.hits s.cache.misses rate
+    s.cache.evictions s.num_domains

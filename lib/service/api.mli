@@ -1,24 +1,37 @@
 (** The service front-end: submit mapping requests, get responses.
 
-    An [Api.t] owns a {!Solution_cache} and a {!Pool}. {!submit_batch}
-    looks every request up in the cache, deduplicates the misses by
-    canonical hash, fans the unique computations across the pool's
-    domains — each worker independently runs workload synthesis, trace
-    compilation and the full analyse→assign→balance pipeline
-    ({!Locmap.Mapper.map}) — stores the solutions, and assembles
-    responses in submission order.
+    An [Api.t] owns a {!Solution_cache}, a {!Pool}, a
+    {!Resilience.policy} and (for chaos testing) a
+    {!Fault_injection.plan}. {!submit_batch} looks every request up in
+    the cache, deduplicates the misses by canonical hash, fans the
+    unique computations across the pool's domains — each worker
+    independently runs workload synthesis, trace compilation and the
+    full analyse→assign→balance pipeline ({!Locmap.Mapper.map}) under
+    the resilience wrapper (deadline checks at phase boundaries,
+    bounded retry with deterministic backoff for transient faults) —
+    stores the solutions, and assembles responses in submission order.
 
-    {b Determinism}: the mapper is deterministic for a given request
-    (its RNG is seeded from the machine configuration), cache lookups
-    and stores happen on the submitting domain in submission order, and
-    workers never share mutable state; so a batch's responses — and the
-    cache counters — are byte-identical whether the pool runs 0 or 8
-    worker domains, and whether a solution was computed or served from
-    cache. The [test/test_service.ml] determinism suite asserts this.
+    {b Fault handling}: every failure is a structured {!Fault.t}. A
+    worker-domain death ({!Fault.Crash}) fails only its own task — the
+    pool records the slot, respawns the worker, and the batch drains.
+    With [resilience.degrade = true], degradable faults (deadline,
+    crash, exhausted retries, internal) are answered with the cheap
+    fallback mapping ([Baselines.Fallback]), flagged
+    [degraded = true] and carrying the triggering fault, so callers
+    always get {e a} mapping for a well-formed request. Degraded
+    solutions are {e never} cached — the fallback must not shadow the
+    real solution once the fault clears. Caller errors
+    ([Invalid_request], [Unknown_workload]) are never degraded, never
+    cached, and never take down the batch.
 
-    Failures (unknown workload, invalid configuration, mapper
-    exceptions) become [Error] responses; they are reported but never
-    cached, and never take down the batch. *)
+    {b Determinism}: the mapper is deterministic for a given request,
+    cache and degradation passes run on the submitting domain in
+    submission order, fault-injection decisions are pure functions of
+    [(seed, site, key, index, attempt)], and workers never share
+    mutable state; so a batch's responses — including [degraded] flags
+    and fault payloads — are byte-identical whether the pool runs 0 or
+    8 worker domains. [test/test_resilience.ml] asserts this under
+    active fault injection. *)
 
 type t
 
@@ -26,15 +39,26 @@ type stats = {
   served : int;  (** requests answered (ok + error) since creation *)
   errors : int;  (** error responses among them *)
   computed : int;  (** pipeline executions (cache misses actually run) *)
+  degraded : int;  (** fallback-mapping responses served *)
+  retried : int;  (** retry attempts spent on transient faults *)
+  crashes : int;  (** worker domains that died (and were replaced) *)
   cache : Solution_cache.counters;
   cache_entries : int;
   cache_capacity : int;
   num_domains : int;  (** worker domains in the pool *)
 }
 
-val create : ?cache_capacity:int -> ?num_domains:int -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?num_domains:int ->
+  ?resilience:Resilience.policy ->
+  ?injection:Fault_injection.plan ->
+  unit ->
+  t
 (** [cache_capacity] defaults to 512 solutions; [num_domains] to 1
-    (inline execution, no spawned domains). *)
+    (inline execution, no spawned domains); [resilience] to
+    {!Resilience.default} (2 retries, no deadline, no degradation);
+    [injection] to {!Fault_injection.none}. *)
 
 val submit : t -> Request.t -> Response.t
 (** Single-request convenience: a one-element {!submit_batch} (the
@@ -47,6 +71,8 @@ val stats : t -> stats
 
 val cache : t -> Response.payload Solution_cache.t
 (** The underlying cache (shared, thread-safe). *)
+
+val resilience : t -> Resilience.policy
 
 val shutdown : t -> unit
 (** Joins the pool's domains. The cache stays readable; further

@@ -1,0 +1,55 @@
+type t =
+  | Invalid_request of string
+  | Unknown_workload of string
+  | Deadline_exceeded of { phase : string; budget_ms : float }
+  | Worker_crashed of string
+  | Transient of string
+  | Internal of string
+
+exception Error of t
+exception Crash of string
+
+let retryable = function Transient _ -> true | _ -> false
+
+let degradable = function
+  | Deadline_exceeded _ | Worker_crashed _ | Transient _ | Internal _ -> true
+  | Invalid_request _ | Unknown_workload _ -> false
+
+let kind = function
+  | Invalid_request _ -> "invalid_request"
+  | Unknown_workload _ -> "unknown_workload"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Worker_crashed _ -> "worker_crashed"
+  | Transient _ -> "transient"
+  | Internal _ -> "internal"
+
+let message = function
+  | Invalid_request m | Worker_crashed m | Transient m | Internal m -> m
+  | Unknown_workload w ->
+      Printf.sprintf "unknown workload %S (see `locmap list')" w
+  | Deadline_exceeded { phase; budget_ms } ->
+      (* %g keeps the rendering free of locale/precision surprises. *)
+      Printf.sprintf "deadline of %gms exceeded at phase %S" budget_ms phase
+
+let to_string f = kind f ^ ": " ^ message f
+
+let to_json f =
+  let common =
+    [ ("kind", Json.String (kind f)); ("message", Json.String (message f)) ]
+  in
+  match f with
+  | Deadline_exceeded { phase; budget_ms } ->
+      Json.Obj
+        (common
+        @ [ ("phase", Json.String phase); ("budget_ms", Json.Float budget_ms) ])
+  | _ -> Json.Obj common
+
+let of_exn = function
+  | Error f -> f
+  | Crash m -> Worker_crashed m
+  | Invalid_argument m -> Invalid_request ("rejected by the pipeline: " ^ m)
+  | Not_found -> Internal "pipeline raised Not_found"
+  | Failure m -> Internal m
+  | e -> Internal (Printexc.to_string e)
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,63 @@
+type action =
+  | Fail_nth of int * Fault.t
+  | Fail_rate of float * Fault.t
+  | Slow of float
+
+type plan = {
+  seed : int;
+  sites : (string * action) list;
+}
+
+let none = { seed = 0; sites = [] }
+
+let create ?(seed = 0) sites = { seed; sites }
+
+let is_none plan = plan.sites = []
+
+let seed plan = plan.seed
+
+(* Seeded coin in [0, 1): the first 30 bits of an MD5 over the full
+   decision identity. Pure, so the same (plan, site, key, attempt)
+   always lands the same way regardless of scheduling. *)
+let coin plan ~site ~key ~attempt =
+  let d =
+    Digest.string (Printf.sprintf "%d|%s|%s|%d" plan.seed site key attempt)
+  in
+  let bits =
+    (Char.code d.[0] lsl 22)
+    lor (Char.code d.[1] lsl 14)
+    lor (Char.code d.[2] lsl 6)
+    lor (Char.code d.[3] lsr 2)
+  in
+  float_of_int bits /. 1073741824.0 (* 2^30 *)
+
+let fault_at plan ~site ~key ~index ~attempt =
+  if plan.sites = [] then None
+  else
+    List.fold_left
+      (fun acc (s, action) ->
+        match acc with
+        | Some _ -> acc
+        | None when s <> site -> None
+        | None -> (
+            match action with
+            | Fail_nth (n, f) when n = index && attempt = 0 -> Some f
+            | Fail_nth _ -> None
+            | Fail_rate (p, f) when coin plan ~site ~key ~attempt < p -> Some f
+            | Fail_rate _ -> None
+            | Slow _ -> None))
+      None plan.sites
+
+let fire plan ~site ~key ~index ~attempt =
+  if plan.sites <> [] then begin
+    List.iter
+      (fun (s, action) ->
+        match action with
+        | Slow ms when s = site && ms > 0. -> Unix.sleepf (ms /. 1000.)
+        | _ -> ())
+      plan.sites;
+    match fault_at plan ~site ~key ~index ~attempt with
+    | None -> ()
+    | Some (Fault.Worker_crashed m) -> raise (Fault.Crash m)
+    | Some f -> raise (Fault.Error f)
+  end

@@ -3,13 +3,22 @@ type t = {
   nonempty : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
-  mutable workers : unit Domain.t array;
+  mutable workers : unit Domain.t list;
+  mutable target : int;
+  mutable crashes : int;
 }
 
 let default_domains () =
   max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
-let worker_loop pool () =
+(* Worker domains run [loop] until shutdown. A job whose exception
+   escapes the per-task wrapper of [try_map] is a {e crash}: the task's
+   result has already been recorded (see [try_map]), so the worker's
+   only duties are to count the crash, respawn a replacement domain (so
+   the pool keeps its configured width and queued jobs still drain),
+   and die. The crash handler takes [pool.lock] only after the job has
+   released every lock it held, so no mutex is orphaned. *)
+let rec worker_loop pool () =
   let rec loop () =
     Mutex.lock pool.lock;
     while Queue.is_empty pool.queue && not pool.stop do
@@ -19,8 +28,15 @@ let worker_loop pool () =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.lock;
-      job ();
-      loop ()
+      match job () with
+      | () -> loop ()
+      | exception _ ->
+          Mutex.lock pool.lock;
+          pool.crashes <- pool.crashes + 1;
+          if not pool.stop then
+            pool.workers <- Domain.spawn (worker_loop pool) :: pool.workers;
+          Mutex.unlock pool.lock
+          (* fall off the end: this domain is dead *)
     end
   in
   loop ()
@@ -29,7 +45,11 @@ let create ?num_domains () =
   let n =
     match num_domains with
     | None -> default_domains ()
-    | Some n when n < 0 -> invalid_arg "Pool.create: negative num_domains"
+    | Some n when n < 0 ->
+        (* Construction-time caller contract, not request data: never
+           reachable from a served request, so it stays an exception
+           rather than a Fault. *)
+        invalid_arg "Pool.create: negative num_domains"
     | Some n -> n
   in
   let pool =
@@ -38,14 +58,22 @@ let create ?num_domains () =
       nonempty = Condition.create ();
       queue = Queue.create ();
       stop = false;
-      workers = [||];
+      workers = [];
+      target = (if n > 1 then n else 0);
+      crashes = 0;
     }
   in
   if n > 1 then
-    pool.workers <- Array.init n (fun _ -> Domain.spawn (worker_loop pool));
+    pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
   pool
 
-let num_domains t = Array.length t.workers
+let num_domains t = t.target
+
+let crashes t =
+  Mutex.lock t.lock;
+  let c = t.crashes in
+  Mutex.unlock t.lock;
+  c
 
 let submit t job =
   Mutex.lock t.lock;
@@ -57,29 +85,40 @@ let submit t job =
   Condition.signal t.nonempty;
   Mutex.unlock t.lock
 
-type 'b slot = Pending | Done of 'b | Failed of exn
-
-let map t f xs =
+let try_map t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if Array.length t.workers = 0 then begin
+  else if t.target = 0 then begin
     if t.stop then invalid_arg "Pool.map: pool is shut down";
-    Array.map f xs
+    (* Inline pool: the caller's domain cannot be allowed to die, so a
+       crash is contained here — producing the same per-task [Error] a
+       worker-backed pool records before its domain exits. *)
+    Array.map (fun x -> try Ok (f x) with e -> Error e) xs
   end
   else begin
-    let results = Array.make n Pending in
+    let results = Array.make n None in
     let batch_lock = Mutex.create () in
     let batch_done = Condition.create () in
     let remaining = ref n in
+    let fill i r =
+      Mutex.lock batch_lock;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.signal batch_done;
+      Mutex.unlock batch_lock
+    in
     Array.iteri
       (fun i x ->
         submit t (fun () ->
-            let r = try Done (f x) with e -> Failed e in
-            Mutex.lock batch_lock;
-            results.(i) <- r;
-            decr remaining;
-            if !remaining = 0 then Condition.signal batch_done;
-            Mutex.unlock batch_lock))
+            let r = try Ok (f x) with e -> Error e in
+            fill i r;
+            (* A simulated domain death must actually kill the worker so
+               the crash-isolation path (respawn, batch drain) is
+               exercised — but only after the slot is filled, so the
+               batch can never hang on a crashed task. *)
+            match r with
+            | Error (Fault.Crash _ as c) -> raise c
+            | _ -> ()))
       xs;
     Mutex.lock batch_lock;
     while !remaining > 0 do
@@ -87,12 +126,13 @@ let map t f xs =
     done;
     Mutex.unlock batch_lock;
     Array.map
-      (function
-        | Done r -> r
-        | Failed e -> raise e
-        | Pending -> assert false)
+      (function Some r -> r | None -> assert false (* all slots filled *))
       results
   end
+
+let map t f xs =
+  let results = try_map t f xs in
+  Array.map (function Ok r -> r | Error e -> raise e) results
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -101,4 +141,18 @@ let shutdown t =
     Condition.broadcast t.nonempty
   end;
   Mutex.unlock t.lock;
-  Array.iter Domain.join t.workers
+  (* A crashing worker may have spawned a replacement concurrently with
+     the stop flag being raised; respawns are decided under [t.lock]
+     after checking [stop], so draining the list until it is empty
+     joins every domain ever spawned. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    if ws <> [] then begin
+      List.iter Domain.join ws;
+      drain ()
+    end
+  in
+  drain ()

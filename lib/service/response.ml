@@ -9,12 +9,14 @@ type payload = {
   overhead_cycles : int;
   region_of_set : int array;
   core_of : int array;
+  degraded : bool;
+  fault : Fault.t option;
 }
 
 type t = {
   id : int;
   hash : string;
-  result : (payload, string) result;
+  result : (payload, Fault.t) result;
 }
 
 let estimation_name = function
@@ -39,12 +41,39 @@ let of_info ~id ~hash ~workload (info : Locmap.Mapper.info) =
           overhead_cycles = info.overhead_cycles;
           region_of_set = info.region_of_set;
           core_of = info.schedule.Machine.Schedule.core_of;
+          degraded = false;
+          fault = None;
         };
   }
 
-let error ~id ~hash msg = { id; hash; result = Error msg }
+let of_fallback ~id ~hash ~workload ~fault (fb : Baselines.Fallback.t) =
+  {
+    id;
+    hash;
+    result =
+      Ok
+        {
+          workload;
+          num_sets = Array.length fb.Baselines.Fallback.sets;
+          estimation = "fallback";
+          moved_fraction = 0.;
+          alpha_mean = 0.;
+          mai_error = 0.;
+          cai_error = 0.;
+          overhead_cycles = 0;
+          region_of_set = fb.Baselines.Fallback.region_of_set;
+          core_of = fb.Baselines.Fallback.core_of;
+          degraded = true;
+          fault = Some fault;
+        };
+  }
+
+let error ~id ~hash fault = { id; hash; result = Error fault }
 
 let is_ok t = Result.is_ok t.result
+
+let is_degraded t =
+  match t.result with Ok p -> p.degraded | Error _ -> false
 
 let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
 
@@ -52,26 +81,33 @@ let to_json t =
   let common = [ ("id", Json.Int t.id); ("hash", Json.String t.hash) ] in
   match t.result with
   | Ok p ->
+      let fault_field =
+        match p.fault with
+        | None -> []
+        | Some f -> [ ("fault", Fault.to_json f) ]
+      in
       Json.Obj
         (common
         @ [
             ("ok", Json.Bool true);
             ( "result",
               Json.Obj
-                [
-                  ("workload", Json.String p.workload);
-                  ("num_sets", Json.Int p.num_sets);
-                  ("estimation", Json.String p.estimation);
-                  ("moved_fraction", Json.Float p.moved_fraction);
-                  ("alpha_mean", Json.Float p.alpha_mean);
-                  ("mai_error", Json.Float p.mai_error);
-                  ("cai_error", Json.Float p.cai_error);
-                  ("overhead_cycles", Json.Int p.overhead_cycles);
-                  ("region_of_set", int_array p.region_of_set);
-                  ("core_of", int_array p.core_of);
-                ] );
+                ([
+                   ("workload", Json.String p.workload);
+                   ("num_sets", Json.Int p.num_sets);
+                   ("estimation", Json.String p.estimation);
+                   ("moved_fraction", Json.Float p.moved_fraction);
+                   ("alpha_mean", Json.Float p.alpha_mean);
+                   ("mai_error", Json.Float p.mai_error);
+                   ("cai_error", Json.Float p.cai_error);
+                   ("overhead_cycles", Json.Int p.overhead_cycles);
+                   ("region_of_set", int_array p.region_of_set);
+                   ("core_of", int_array p.core_of);
+                   ("degraded", Json.Bool p.degraded);
+                 ]
+                @ fault_field) );
           ])
-  | Error e ->
-      Json.Obj (common @ [ ("ok", Json.Bool false); ("error", Json.String e) ])
+  | Error f ->
+      Json.Obj (common @ [ ("ok", Json.Bool false); ("error", Fault.to_json f) ])
 
 let to_string t = Json.to_string (to_json t)

@@ -277,6 +277,43 @@ let test_batch_coalescing_and_errors () =
   check int_t "error recomputed" 3 s.computed;
   Service.Api.shutdown api
 
+let test_degraded_never_cached () =
+  (* Every pipeline attempt fails transiently; degradation answers the
+     request with the fallback mapping — which must never enter the
+     cache, so a resubmission recomputes. *)
+  let api =
+    Service.Api.create ~num_domains:1
+      ~resilience:
+        {
+          Service.Resilience.default with
+          max_retries = 0;
+          backoff_base_ms = 0.;
+          degrade = true;
+        }
+      ~injection:
+        (Service.Fault_injection.create
+           [
+             ( "compute",
+               Service.Fault_injection.Fail_rate
+                 (1., Service.Fault.Transient "always") );
+           ])
+      ()
+  in
+  let r = Service.Request.make ~scale:0.15 "mxm" in
+  let first = Service.Api.submit api r in
+  check bool_t "answered" true (Service.Response.is_ok first);
+  check bool_t "degraded" true (Service.Response.is_degraded first);
+  let second = Service.Api.submit api r in
+  check string_t "resubmission identical"
+    (Service.Response.to_string first)
+    (Service.Response.to_string { second with id = 0 });
+  let s = Service.Api.stats api in
+  check int_t "recomputed both times" 2 s.computed;
+  check int_t "degraded counted" 2 s.degraded;
+  check int_t "cache stays empty" 0 s.cache_entries;
+  check int_t "nothing inserted" 0 s.cache.Service.Solution_cache.insertions;
+  Service.Api.shutdown api
+
 let () =
   Alcotest.run "service"
     [
@@ -309,5 +346,7 @@ let () =
             test_batch_determinism;
           Alcotest.test_case "coalescing and errors" `Quick
             test_batch_coalescing_and_errors;
+          Alcotest.test_case "degraded responses never cached" `Quick
+            test_degraded_never_cached;
         ] );
     ]
