@@ -1,6 +1,7 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all check test bench bench-service bench-resilience chaos sweep clean
+.PHONY: all check test bench bench-service bench-resilience bench-verify \
+        chaos sweep lint fmt fmt-check verify clean
 
 all:
 	dune build
@@ -38,6 +39,44 @@ chaos:
 # Small end-to-end sweep through the service pool.
 sweep:
 	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
+
+# Concurrency lint over the Pool-reachable sources (see Verify.Lint),
+# then a self-test: the seeded bad fixture must still be flagged.
+lint:
+	dune exec bin/locmap_lint.exe -- lib/service lib/harness
+	@if dune exec bin/locmap_lint.exe -- -q test/fixtures/lint \
+	    > /dev/null 2>&1; then \
+	  echo "lint self-test FAILED: seeded fixture not flagged"; exit 1; \
+	else \
+	  echo "lint self-test ok: seeded fixture flagged"; \
+	fi
+
+# Semantic verifier over every bundled workload, plus the negative
+# self-test (corrupted artifacts must be rejected).
+verify:
+	dune exec bin/locmap_cli.exe -- check --selftest
+	dune exec bin/locmap_cli.exe -- check --selftest --llc shared -q
+
+# Formatting gate. ocamlformat is optional tooling: skip (successfully)
+# when the binary is not on PATH so minimal containers still pass.
+fmt-check:
+	@if command -v ocamlformat > /dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
+fmt:
+	@if command -v ocamlformat > /dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+# Verification-cost benchmark: Mapper.map with ~verify on vs off
+# (target: <= 5% overhead).
+bench-verify:
+	dune exec bench/verify_bench.exe
 
 clean:
 	dune clean

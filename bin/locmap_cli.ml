@@ -7,6 +7,8 @@
      locmap map moldyn --llc shared   # mapping diagnostics
      locmap simulate swim --strategy la --llc shared
      locmap experiments --only fig7   # regenerate paper figures
+     locmap check                     # verify invariants, all benchmarks
+     locmap check --batch reqs.jsonl  # verify a request batch instead
      locmap batch reqs.jsonl -d 4     # serve a JSON-lines request file
      locmap sweep -w fmm,lu -m 4x4,6x6 -d 4   # parameter cross-product *)
 
@@ -226,6 +228,182 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (see EXPERIMENTS.md).")
     Term.(const run $ only_arg $ list_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Verification: the lib/verify semantic checker, over bundled
+   workloads or over the requests of a JSON-lines batch file.          *)
+
+let verify_options_of (o : Service.Request.options) =
+  {
+    Verify.estimation =
+      (match o.Service.Request.estimation with
+      | Service.Request.Auto -> None
+      | Service.Request.Cme -> Some Locmap.Mapper.Cme_estimate
+      | Service.Request.Inspector -> Some Locmap.Mapper.Inspector
+      | Service.Request.Oracle -> Some Locmap.Mapper.Oracle);
+    fraction = o.Service.Request.fraction;
+    balance = o.Service.Request.balance;
+    alpha_override = o.Service.Request.alpha_override;
+  }
+
+let check_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks to verify (default: every benchmark of \
+                $(b,locmap list)).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Verify the machine, program and mapping of every request \
+             in a JSON-lines batch file instead of registry workloads \
+             ($(b,-) reads standard input); each request supplies its \
+             own machine, scale and mapper options.")
+  in
+  let selftest_arg =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Also run the negative self-test: deliberately corrupted \
+             artifacts — a mapping with a dropped iteration set, an \
+             affinity vector summing to 0.9 — must be rejected with a \
+             diagnostic naming the violated invariant.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print failures only.")
+  in
+  let run names llc scale batch selftest quiet =
+    let failures = ref 0 in
+    let report subject cfg prog options =
+      let r = Verify.report ~options ~subject cfg prog in
+      if not (Verify.ok r) then incr failures;
+      if (not (Verify.ok r)) || not quiet then
+        Format.printf "%a@." Verify.pp_report r
+    in
+    (match batch with
+    | Some file ->
+        let ic =
+          if file = "-" then stdin
+          else
+            try open_in file
+            with Sys_error e ->
+              prerr_endline e;
+              exit 2
+        in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> if file <> "-" then close_in ic);
+        List.rev !lines
+        |> List.mapi (fun i line -> (i + 1, line))
+        |> List.filter (fun (_, line) ->
+               let s = String.trim line in
+               s <> "" && s.[0] <> '#')
+        |> List.iter (fun (ln, line) ->
+               match Service.Request.of_string line with
+               | Error e ->
+                   Printf.eprintf "%s: line %d: %s\n"
+                     (if file = "-" then "stdin" else file)
+                     ln e;
+                   exit 2
+               | Ok req -> (
+                   match find_bench req.Service.Request.workload with
+                   | Error e ->
+                       Printf.eprintf "line %d: %s\n" ln e;
+                       exit 2
+                   | Ok entry ->
+                       let p =
+                         Harness.Experiment.prepare
+                           ~scale:req.Service.Request.scale entry
+                       in
+                       report
+                         (Printf.sprintf "%s#%d"
+                            req.Service.Request.workload ln)
+                         req.Service.Request.machine p.prog
+                         (verify_options_of req.Service.Request.options)))
+    | None ->
+        let names =
+          if names = [] then Workloads.Registry.names else names
+        in
+        let cfg = cfg_of llc in
+        List.iter
+          (fun name ->
+            match find_bench name with
+            | Error e ->
+                prerr_endline e;
+                exit 2
+            | Ok entry ->
+                let p = Harness.Experiment.prepare ~scale entry in
+                report name cfg p.prog Verify.default_options)
+          names);
+    if selftest then begin
+      let expect what invariant diags =
+        if
+          List.exists
+            (fun (d : Verify.diagnostic) -> d.invariant = invariant)
+            diags
+        then begin
+          if not quiet then
+            Printf.printf "selftest: %s rejected ([%s])\n" what invariant
+        end
+        else begin
+          incr failures;
+          Printf.printf "selftest: %s NOT rejected (expected [%s])\n" what
+            invariant
+        end
+      in
+      let cfg = cfg_of llc in
+      let entry = List.hd Workloads.Registry.all in
+      let p = Harness.Experiment.prepare ~scale entry in
+      let info = Locmap.Mapper.map ~measure_error:false cfg p.trace in
+      let n = Array.length info.Locmap.Mapper.sets in
+      let drop a = Array.sub a 0 (n - 1) in
+      let corrupted =
+        {
+          info with
+          Locmap.Mapper.sets = drop info.Locmap.Mapper.sets;
+          region_of_set = drop info.Locmap.Mapper.region_of_set;
+          schedule =
+            Machine.Schedule.make
+              ~sets:(drop info.Locmap.Mapper.schedule.Machine.Schedule.sets)
+              ~core_of:
+                (drop info.Locmap.Mapper.schedule.Machine.Schedule.core_of);
+        }
+      in
+      expect
+        (Printf.sprintf "mapping of %s with a dropped iteration set"
+           entry.Workloads.Registry.name)
+        "partition-cover"
+        (Verify.check_info
+           ~where:(entry.Workloads.Registry.name ^ "/corrupted")
+           cfg p.prog corrupted);
+      expect "MAI vector summing to 0.9" "mai-distribution"
+        (Locmap.Invariant.distribution ~where:"selftest"
+           ~invariant:"mai-distribution"
+           [| 0.4; 0.3; 0.2 |])
+    end;
+    if !failures > 0 then begin
+      Printf.printf "check: %d subject(s) FAILED\n" !failures;
+      exit 1
+    end
+    else if not quiet then print_endline "check: ok"
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify IR well-formedness, affinity invariants and mapping \
+          soundness (see lib/verify).")
+    Term.(
+      const run $ names_arg $ llc_arg $ scale_arg $ batch_arg
+      $ selftest_arg $ quiet_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Serving mode: batch + sweep run through the lib/service subsystem.  *)
@@ -531,4 +709,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "locmap" ~version:"1.0.0" ~doc)
           [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd;
-            experiments_cmd; batch_cmd; sweep_cmd ]))
+            experiments_cmd; check_cmd; batch_cmd; sweep_cmd ]))

@@ -1,0 +1,71 @@
+(* locmap-lint — the concurrency lint over this repository's sources.
+
+     locmap_lint lib/service lib/harness       # the Pool-reachable set
+     locmap_lint --require-mli lib             # full-tree interface audit
+     locmap_lint --no-contract test/fixtures   # mutable-state rules only
+
+   Exit status: 0 when clean, 1 when any finding, 2 on usage errors.
+   See [Verify.Lint] for the rules. *)
+
+open Cmdliner
+
+let paths_arg =
+  Arg.(
+    value
+    & pos_all string [ "lib/service"; "lib/harness" ]
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Directories (scanned recursively for .ml files) or single .ml \
+           files. Defaults to the Pool-reachable set: lib/service and \
+           lib/harness.")
+
+let require_mli_arg =
+  Arg.(
+    value & flag
+    & info [ "require-mli" ]
+        ~doc:"Also flag .ml files that have no sibling .mli interface.")
+
+let no_contract_arg =
+  Arg.(
+    value & flag
+    & info [ "no-contract" ]
+        ~doc:
+          "Do not require the .mli thread-safety contract comment (useful \
+           when scanning code outside the serving stack).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print findings only.")
+
+let run paths require_mli no_contract quiet =
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "locmap_lint: no such path %S\n" p;
+        exit 2
+      end)
+    paths;
+  let findings =
+    Verify.Lint.scan_dirs ~require_contract:(not no_contract) ~require_mli
+      paths
+  in
+  List.iter
+    (fun f -> Format.printf "%a@." Verify.Lint.pp_finding f)
+    findings;
+  match findings with
+  | [] ->
+      if not quiet then
+        Printf.printf "lint: clean (%s)\n" (String.concat " " paths);
+      exit 0
+  | fs ->
+      if not quiet then Printf.printf "lint: %d finding(s)\n" (List.length fs);
+      exit 1
+
+let () =
+  let doc = "concurrency lint for the locmap sources (see Verify.Lint)" in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "locmap_lint" ~version:"1.0.0" ~doc)
+          Term.(
+            const run $ paths_arg $ require_mli_arg $ no_contract_arg
+            $ quiet_arg)))

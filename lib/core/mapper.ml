@@ -108,8 +108,24 @@ let default_schedule ?fraction (cfg : Machine.Config.t) trace =
 
 let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
     ?(balance = true) ?alpha_override ?(on_phase = fun (_ : string) -> ())
-    (cfg : Machine.Config.t) trace =
+    ?(verify = false) (cfg : Machine.Config.t) trace =
   let prog = Ir.Trace.program trace in
+  (* Debug mode: assert pipeline invariants just before each [on_phase]
+     boundary. [verify = false] (the default) skips every check, so the
+     serving path is unchanged. *)
+  let vcheck phase checks =
+    if verify then
+      Invariant.fail_if_any
+        (Invariant.all
+           (List.map
+              (fun c -> c (prog.Ir.Program.name ^ "/" ^ phase))
+              checks))
+  in
+  let nest_iterations =
+    lazy
+      (Array.of_list
+         (List.map Ir.Loop_nest.iterations prog.Ir.Program.nests))
+  in
   let estimation =
     Option.value estimation ~default:(default_estimation prog)
   in
@@ -124,6 +140,13 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
   let amap = Machine.Addr_map.create cfg pt in
   let regions = Region.create cfg in
   let sets = Ir.Iter_set.partition prog ~fraction in
+  vcheck "partition"
+    [
+      (fun where -> Invariant.region_grid ~where cfg regions);
+      (fun where ->
+        Invariant.partition ~where
+          ~nest_iterations:(Lazy.force nest_iterations) sets);
+    ];
   on_phase "partition";
   (* Summarise every set under the requested estimation mode. *)
   let summaries, mai_error, cai_error =
@@ -151,9 +174,19 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         let _, warm = Analysis.observed_summaries cfg amap trace ~sets in
         (warm, 0., 0.)
   in
+  vcheck "summarise"
+    [ (fun where -> Invariant.summaries ~where summaries) ];
   on_phase "summarise";
   let tables = Assign.create ?alpha_override cfg regions in
   let pre_balance_region = Assign.assign tables summaries in
+  vcheck "assign"
+    [
+      (fun where ->
+        Invariant.tables ~where ~num_regions:(Region.count regions) tables);
+      (fun where ->
+        Invariant.assignment ~where ~num_regions:(Region.count regions)
+          pre_balance_region);
+    ];
   on_phase "assign";
   (* Algorithm 1 runs once per parallel loop nest: balancing (and the
      in-region placement below) must level each nest's load separately,
@@ -185,6 +218,17 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         in
         Array.blit balanced 0 region_of_set lo len)
       nest_slices;
+  vcheck "balance"
+    [
+      (fun where ->
+        Invariant.assignment ~where ~num_regions:(Region.count regions)
+          region_of_set);
+      (fun where ->
+        if balance then
+          Invariant.balance ~where ~num_regions:(Region.count regions) ~sets
+            region_of_set
+        else []);
+    ];
   on_phase "balance";
   let moved =
     let n = Array.length region_of_set in
@@ -222,6 +266,13 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
       in
       Array.blit sub_core 0 core_of lo len)
     nest_slices;
+  vcheck "place"
+    [
+      (fun where ->
+        Invariant.placement ~where ~in_region:(cores = None) cfg regions
+          ~region_of_set
+          (Machine.Schedule.make ~sets ~core_of));
+    ];
   on_phase "place";
   let alpha_mean =
     if Array.length summaries = 0 then 0.5

@@ -55,6 +55,7 @@ val map :
   ?balance:bool ->
   ?alpha_override:float ->
   ?on_phase:(string -> unit) ->
+  ?verify:bool ->
   Machine.Config.t ->
   Ir.Trace.t ->
   info
@@ -73,7 +74,16 @@ val map :
     ["partition"], ["summarise"], ["assign"], ["balance"], ["place"] —
     the serving layer's deadline checks and fault-injection points hang
     off it. The hook may raise to abort the run (the exception
-    propagates to the caller); it must not mutate mapper inputs. *)
+    propagates to the caller); it must not mutate mapper inputs.
+
+    [verify] (default [false]) is the debug mode: just before each
+    [on_phase] boundary the pipeline's invariants over the artifacts
+    produced so far (partition cover, affinity distributions, MAC/CAC
+    tables, assignment range, per-nest balance tolerance, placement
+    soundness — see {!Invariant}) are asserted, and a violation raises
+    {!Invariant.Violation} with one structured diagnostic per broken
+    invariant. With [verify = false] no check runs and the pipeline is
+    byte-for-byte the non-verifying one. *)
 
 val default_schedule :
   ?fraction:float -> Machine.Config.t -> Ir.Trace.t -> Machine.Schedule.t

@@ -5,7 +5,12 @@
 
     [scale] scales every benchmark's input size (1.0 = the calibrated
     defaults); the sweep figures run on a fixed representative subset
-    of applications to bound simulation time, as noted per figure. *)
+    of applications to bound simulation time, as noted per figure.
+
+    {b Thread safety}: each driver prints to stdout and must be run
+    from a single thread; drivers share no mutable state with each
+    other, so distinct figures may run in parallel from {!Pool}
+    workers only if their output is serialised by the caller. *)
 
 type fig = {
   id : string;

@@ -1,5 +1,9 @@
 (** Plain-text tables and aggregate statistics for the experiment
-    reports. *)
+    reports.
+
+    {b Thread safety}: the statistics helpers are pure; {!table}
+    prints to stdout and concurrent callers (e.g. {!Pool} workers)
+    must serialise their own output. *)
 
 val table :
   title:string -> headers:string list -> string list list -> unit

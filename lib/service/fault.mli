@@ -35,7 +35,11 @@
     num_domains] (construction-time caller contracts, not request data),
     and the [assert false] arms in [Api.submit_batch] (every hash in the
     todo list is, by construction, in the solved table). Those keep their
-    exceptions and are documented in place. *)
+    exceptions and are documented in place.
+
+    {b Thread safety}: faults are immutable values; every function in
+    this interface is pure and safe to call from concurrent
+    {!Pool} workers without synchronisation. *)
 
 type t =
   | Invalid_request of string

@@ -9,7 +9,11 @@
     order, floats print with the shortest representation that
     round-trips, and no whitespace is emitted — two structurally equal
     values always print byte-identically, which the batch determinism
-    guarantee of {!Api.submit_batch} relies on. *)
+    guarantee of {!Api.submit_batch} relies on.
+
+    {b Thread safety}: values are immutable and the encoder/decoder
+    keep no shared state; all functions are safe to call from
+    concurrent {!Pool} workers without synchronisation. *)
 
 type t =
   | Null

@@ -10,7 +10,11 @@
     digests a field-by-field canonical encoding (floats by their IEEE
     bit pattern), so it is stable across equal-but-not-physically-
     identical requests, across processes, and across the JSON
-    round-trip. *)
+    round-trip.
+
+    {b Thread safety}: requests are immutable pure data; every
+    function here is safe to call from concurrent {!Pool} workers
+    without synchronisation. *)
 
 type estimation_opt =
   | Auto  (** per-program default: CME for regular, inspector otherwise *)

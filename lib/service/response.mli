@@ -12,7 +12,11 @@
     A payload with [degraded = true] came from the cheap fallback
     mapping ([Baselines.Fallback]) after the full pipeline failed;
     [fault] then records what triggered the degradation. Degraded
-    payloads are never cached (see {!Api}). *)
+    payloads are never cached (see {!Api}).
+
+    {b Thread safety}: responses and payloads are immutable, so
+    sharing one payload across requests — and across concurrent
+    {!Pool} workers — needs no synchronisation. *)
 
 type payload = {
   workload : string;

@@ -1,0 +1,412 @@
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+type source = {
+  path : string;
+  code : string;
+  intf : string option;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* Lexical preparation.                                                *)
+
+(* Replace comments (nested), string literals and character literals
+   with spaces, preserving line structure so line numbers survive. *)
+let strip code =
+  let n = String.length code in
+  let out = Bytes.of_string code in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = code.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && code.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && code.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && code.[!i + 1] = '*' then begin
+      comment_depth := 1;
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if code.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          if code.[!i] = '"' then stop := true;
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '\'' then begin
+      (* Character literal ('x', '\n', '\\') vs type variable ('a). *)
+      if !i + 2 < n && code.[!i + 1] <> '\\' && code.[!i + 2] = '\'' then begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+      else if !i + 1 < n && code.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && code.[!j] <> '\'' do
+          incr j
+        done;
+        for k = !i to min !j (n - 1) do
+          blank k
+        done;
+        i := !j + 1
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let lines_of s = String.split_on_char '\n' s
+
+(* Identifier-ish tokens, with dotted module paths kept whole
+   ("Mutex.lock", "Hashtbl.create"). *)
+let tokens_of_line line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+  in
+  while !i < n do
+    if is_ident line.[!i] then begin
+      let j = ref !i in
+      while
+        !j < n
+        && (is_ident line.[!j]
+           || (line.[!j] = '.' && !j + 1 < n && is_ident line.[!j + 1]))
+      do
+        incr j
+      done;
+      toks := String.sub line !i (!j - !i) :: !toks;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Top-level items.                                                    *)
+
+type item = {
+  start_line : int;  (** 1-based *)
+  head : string list;  (** tokens of the first line *)
+  toks : (int * string) list;  (** (line, token) over the whole item *)
+}
+
+let item_starters =
+  [ "let"; "and"; "type"; "module"; "exception"; "open"; "include";
+    "external"; "class" ]
+
+let items_of stripped =
+  let ls = Array.of_list (lines_of stripped) in
+  let starts = ref [] in
+  Array.iteri
+    (fun idx line ->
+      if String.length line > 0 && line.[0] <> ' ' && line.[0] <> '\t' then
+        match tokens_of_line line with
+        | t :: _ when List.mem t item_starters -> starts := idx :: !starts
+        | _ -> ())
+    ls;
+  let starts = Array.of_list (List.rev !starts) in
+  Array.to_list
+    (Array.mapi
+       (fun k s ->
+         let e =
+           if k + 1 < Array.length starts then starts.(k + 1)
+           else Array.length ls
+         in
+         let toks = ref [] in
+         for idx = s to e - 1 do
+           List.iter
+             (fun t -> toks := (idx + 1, t) :: !toks)
+             (tokens_of_line ls.(idx))
+         done;
+         {
+           start_line = s + 1;
+           head = tokens_of_line ls.(s);
+           toks = List.rev !toks;
+         })
+       starts)
+
+let has_token item t = List.exists (fun (_, x) -> x = t) item.toks
+
+let first_line_of_token item t =
+  match List.find_opt (fun (_, x) -> x = t) item.toks with
+  | Some (l, _) -> l
+  | None -> item.start_line
+
+(* A top-level [let]/[and] binding's name, and whether it is a value
+   (no parameters: name directly followed by [=] or a [: type =]
+   annotation) rather than a function. *)
+let binding_of item =
+  match item.head with
+  | kw :: rest when kw = "let" || kw = "and" -> (
+      let rest = match rest with "rec" :: r -> r | r -> r in
+      match rest with
+      | name :: _ when name <> "_" ->
+          (* The token list drops punctuation, so recover "what follows
+             the name" from the raw head line shape: a value binding's
+             name is followed (ignoring a type annotation) by '='
+             before any further lowercase parameter token. *)
+          Some (name, rest)
+      | _ -> None)
+  | _ -> None
+
+(* Is the binding a parameterless value? We inspect the raw first line:
+   after the name, the next non-space character must be '=' or ':'. *)
+let is_value_binding raw_first_line name =
+  match String.index_opt raw_first_line '=' with
+  | None -> (
+      (* Multi-line head: treat ": type" as a value annotation. *)
+      match String.index_opt raw_first_line ':' with
+      | None -> false
+      | Some _ -> true)
+  | Some _ ->
+      let n = String.length raw_first_line in
+      let rec find_name i =
+        if i + String.length name > n then None
+        else if
+          String.sub raw_first_line i (String.length name) = name
+          && (i = 0 || not (raw_first_line.[i - 1] = '_'
+                            || (raw_first_line.[i - 1] >= 'a'
+                               && raw_first_line.[i - 1] <= 'z')))
+        then Some (i + String.length name)
+        else find_name (i + 1)
+      in
+      (match find_name 0 with
+      | None -> false
+      | Some j ->
+          let rec skip i =
+            if i >= n then false
+            else
+              match raw_first_line.[i] with
+              | ' ' | '\t' -> skip (i + 1)
+              | '=' | ':' -> true
+              | _ -> false
+          in
+          skip j)
+
+let mutable_creators =
+  [ "Hashtbl.create"; "Hashtbl.of_seq"; "Buffer.create"; "Queue.create";
+    "Stack.create"; "ref" ]
+
+let lock_tokens = [ "Mutex.protect"; "Mutex.lock" ]
+
+(* ------------------------------------------------------------------ *)
+(* The scan.                                                           *)
+
+let scan_source ?(concurrency = true) ?(require_contract = true) src =
+  let stripped = strip src.code in
+  let raw_lines = Array.of_list (lines_of src.code) in
+  let suppressed =
+    let s = Hashtbl.create 8 in
+    Array.iteri
+      (fun idx l ->
+        let contains needle hay =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        if contains "lint:ignore" l then Hashtbl.replace s (idx + 1) ())
+      raw_lines;
+    s
+  in
+  let findings = ref [] in
+  let add ~line ~rule fmt =
+    Printf.ksprintf
+      (fun message ->
+        if not (Hashtbl.mem suppressed line) then
+          findings := { file = src.path; line; rule; message } :: !findings)
+      fmt
+  in
+  (if concurrency then begin
+     let items = items_of stripped in
+     let file_has_mutex =
+       List.exists
+         (fun it ->
+           List.exists
+             (fun (_, t) ->
+               String.length t > 6 && String.sub t 0 6 = "Mutex.")
+             it.toks)
+         items
+     in
+     (* Guard wrappers: top-level bindings whose body locks a mutex. *)
+     let guards =
+       List.filter_map
+         (fun it ->
+           if List.exists (has_token it) lock_tokens then
+             Option.map fst (binding_of it)
+           else None)
+         items
+     in
+     (* A creator only makes the *binding itself* mutable state when it
+        appears in the binding's top-level right-hand side — i.e.
+        before any nested [let]/[fun]/[function] (a [ref] allocated
+        inside a nested definition is local, not shared). *)
+     let creates_top_level_mutable it =
+       let rec go first = function
+         | [] -> false
+         | (_, t) :: rest ->
+             if first then go false rest (* the item's own let/and *)
+             else if t = "let" || t = "fun" || t = "function" then false
+             else if List.mem t mutable_creators then true
+             else go false rest
+       in
+       go true it.toks
+     in
+     (* Rule: top-level mutable values. *)
+     List.iter
+       (fun it ->
+         match binding_of it with
+         | Some (name, _)
+           when creates_top_level_mutable it
+                && is_value_binding raw_lines.(it.start_line - 1) name ->
+             if not file_has_mutex then
+               add ~line:it.start_line ~rule:"unguarded-global"
+                 "top-level mutable state %S in a module that never takes a \
+                  mutex — unsafe if reached from Pool workers"
+                 name
+             else
+               List.iter
+                 (fun use ->
+                   if use.start_line <> it.start_line && has_token use name
+                   then begin
+                     let locked =
+                       List.exists (has_token use) lock_tokens
+                       || List.exists
+                            (fun g -> g <> name && has_token use g)
+                            guards
+                     in
+                     if not locked then
+                       add
+                         ~line:(first_line_of_token use name)
+                         ~rule:"unguarded-global-use"
+                         "%S is used without Mutex.protect/Mutex.lock or a \
+                          guard wrapper"
+                         name
+                   end)
+                 items
+         | _ -> ())
+       items;
+     (* Rule: mutable record fields in a mutex-free module. *)
+     if not file_has_mutex then
+       List.iter
+         (fun it ->
+           match it.head with
+           | "type" :: _ when has_token it "mutable" ->
+               add
+                 ~line:(first_line_of_token it "mutable")
+                 ~rule:"mutable-field-no-mutex"
+                 "record with mutable fields in a module that never takes a \
+                  mutex — unsafe if shared across Pool workers"
+           | _ -> ())
+         items
+   end);
+  (if require_contract then
+     match src.intf with
+     | None -> ()
+     | Some intf ->
+         let lower = String.lowercase_ascii intf in
+         let has needle =
+           let nh = String.length lower and nn = String.length needle in
+           let rec go i =
+             i + nn <= nh && (String.sub lower i nn = needle || go (i + 1))
+           in
+           go 0
+         in
+         if
+           not
+             (has "thread safety" || has "thread-safety" || has "thread-safe")
+         then
+           add ~line:1 ~rule:"missing-thread-safety-contract"
+             "interface documents no thread-safety contract for a \
+              Pool-reachable module");
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem front-end.                                               *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_files ?concurrency ?require_contract ?(require_mli = false) paths =
+  List.concat_map
+    (fun path ->
+      let mli_path = Filename.remove_extension path ^ ".mli" in
+      let intf =
+        if Sys.file_exists mli_path then Some (read_file mli_path) else None
+      in
+      let missing =
+        if require_mli && intf = None then
+          [
+            {
+              file = path;
+              line = 1;
+              rule = "missing-interface";
+              message = "module has no .mli interface";
+            };
+          ]
+        else []
+      in
+      missing
+      @ scan_source ?concurrency ?require_contract
+          { path; code = read_file path; intf })
+    paths
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+           then []
+           else ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let scan_dirs ?concurrency ?require_contract ?require_mli paths =
+  scan_files ?concurrency ?require_contract ?require_mli
+    (List.concat_map ml_files_under paths)

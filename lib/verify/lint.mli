@@ -1,0 +1,76 @@
+(** Concurrency lint: a lexical pass over OCaml sources.
+
+    The serving stack fans work across [Service.Pool] domains, so any
+    module reachable from a worker must guard its shared mutable state.
+    This lint enforces that contract lexically — no typed AST, just
+    comment/string-stripped token scanning — which keeps it dependency-
+    free and fast enough for a pre-commit hook, at the cost of being a
+    heuristic: it flags the patterns that have bitten this codebase
+    rather than proving data-race freedom.
+
+    Rules (kebab-case ids reported in findings):
+
+    - [unguarded-global]: a top-level value binding that creates
+      mutable state ([Hashtbl.create], [ref], [Buffer.create],
+      [Queue.create], [Stack.create]) in a file that never touches a
+      [Mutex] at all.
+    - [unguarded-global-use]: such a binding used by a top-level item
+      that neither locks a mutex ([Mutex.protect] / [Mutex.lock]) nor
+      calls one of the file's guard functions (a top-level binding
+      whose body locks a mutex, e.g. a [with_lock] wrapper).
+    - [mutable-field-no-mutex]: a record type with [mutable] fields in
+      a file that never touches a [Mutex].
+    - [missing-thread-safety-contract]: a scanned [.ml] whose [.mli]
+      lacks the thread-safety contract comment (any spelling of
+      "thread safety" / "thread-safe").
+    - [missing-interface] (only with [require_mli]): a [.ml] with no
+      sibling [.mli].
+
+    Function bindings ([let f x = ...]) are exempt from the global
+    rules — state they create is per-call, not shared. A finding can
+    be suppressed by putting [lint:ignore] in a comment on the
+    offending line.
+
+    {b Thread safety}: stateless; scanning allocates per call. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  rule : string;
+  message : string;
+}
+
+type source = {
+  path : string;  (** reported in findings; need not exist on disk *)
+  code : string;  (** the [.ml] contents *)
+  intf : string option;  (** the sibling [.mli] contents, if any *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] message]. *)
+
+val scan_source : ?concurrency:bool -> ?require_contract:bool -> source -> finding list
+(** Pure scan of one compilation unit. [concurrency] (default [true])
+    enables the mutable-state rules; [require_contract] (default
+    [true]) enables the [.mli] contract rule (it only fires when
+    [intf] is [Some _]). *)
+
+val scan_files :
+  ?concurrency:bool ->
+  ?require_contract:bool ->
+  ?require_mli:bool ->
+  string list ->
+  finding list
+(** Reads each [.ml] path (and its sibling [.mli], when present) and
+    scans it. [require_mli] (default [false]) additionally flags
+    missing interfaces. *)
+
+val scan_dirs :
+  ?concurrency:bool ->
+  ?require_contract:bool ->
+  ?require_mli:bool ->
+  string list ->
+  finding list
+(** {!scan_files} over every [.ml] found by recursive directory walk
+    (entries sorted, so output order is stable). A path that is a
+    plain file is scanned directly. *)

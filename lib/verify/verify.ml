@@ -1,0 +1,2 @@
+include Semantic
+module Lint = Lint

@@ -1,0 +1,21 @@
+(** Static analysis over the pipeline's artifacts and this repository's
+    own sources.
+
+    Two prongs (see DESIGN.md, "Verification & lint"):
+
+    - the {e semantic verifier} ({!Semantic}, re-exported here) checks
+      IR well-formedness, affinity invariants and mapping soundness of
+      what the pipeline emits — {!report} is the one-call battery the
+      [locmap check] CLI subcommand and the test suite share, and
+      [Locmap.Mapper.map ~verify:true] asserts the same invariants at
+      each pipeline phase boundary;
+    - the {e concurrency lint} ({!Lint}) scans [lib/service] and
+      [lib/harness] sources for shared mutable state reachable from
+      [Service.Pool] workers without a mutex, and for missing
+      thread-safety contracts ([bin/locmap_lint.ml], [make lint]).
+
+    {b Thread safety}: stateless; see the submodule contracts. *)
+
+include module type of Semantic
+
+module Lint : module type of Lint

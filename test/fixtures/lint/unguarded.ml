@@ -1,0 +1,13 @@
+(* Seeded lint fixture — this module deliberately violates the
+   concurrency rules so `make lint` can prove the linter still fires.
+   It is not part of any dune library and is never compiled. *)
+
+let cache : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let lookup key =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      let v = String.length key in
+      Hashtbl.replace cache key v;
+      v

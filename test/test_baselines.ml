@@ -87,6 +87,91 @@ let test_layout_objective_not_worse () =
     (Mem.Page_table.remapped_count pt
     <= Ir.Layout.footprint layout / cfg.page_size)
 
+(* ------------------------------------------------------------------ *)
+(* Fallback (degraded-mode) edge cases. A zero-iteration-set input is
+   unreachable — Program.create requires at least one nest and
+   Loop_nest at least one iteration, and Iter_set.partition emits at
+   least one set per nest — so the extremes worth testing are the
+   other direction: far more sets than cores, and far fewer. *)
+
+let tiny_prog ?(iters = 7) () =
+  Ir.Program.create ~name:"tiny" ~kind:Ir.Program.Regular
+    ~arrays:[ { Ir.Program.name = "a"; elem_size = 8; length = iters } ]
+    [
+      Ir.Loop_nest.make ~name:"n"
+        ~par:(Ir.Loop_nest.loop "i" ~hi:iters)
+        [ Ir.Access.read "a" (Ir.Access.direct (Ir.Affine.var "i")) ];
+    ]
+
+let check_fb what cfg prog fb =
+  let diags = Verify.check_fallback ~where:what cfg prog fb in
+  Alcotest.(check (list string))
+    (what ^ " sound")
+    []
+    (List.map
+       (fun (d : Verify.diagnostic) -> Locmap.Invariant.to_string d)
+       diags)
+
+let test_fallback_minimal_program () =
+  (* One nest with fewer iterations than cores: the set size clamps to
+     one iteration, most of the 36 cores stay idle — still a total,
+     balanced mapping. *)
+  let cfg = Machine.Config.default in
+  let prog = tiny_prog () in
+  let fb = Baselines.Fallback.map cfg prog in
+  check_int "one set per iteration" 7
+    (Array.length fb.Baselines.Fallback.sets);
+  check_fb "minimal program" cfg prog fb
+
+let test_fallback_sets_exceed_cores () =
+  (* 2x2 mesh with 1x1 regions: 4 cores, and a fraction that cuts the
+     nest into far more sets than cores. *)
+  let cfg =
+    {
+      Machine.Config.default with
+      Machine.Config.rows = 2;
+      cols = 2;
+      region_h = 1;
+      region_w = 1;
+    }
+  in
+  let prog = tiny_prog ~iters:4096 () in
+  let fb = Baselines.Fallback.map ~fraction:0.002 cfg prog in
+  let n = Array.length fb.Baselines.Fallback.sets in
+  check_bool "sets >> cores" true (n > 4 * 16);
+  check_fb "sets >> cores" cfg prog fb;
+  (* Round-robin over regions keeps per-region counts within one. *)
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun r -> counts.(r) <- counts.(r) + 1)
+    fb.Baselines.Fallback.region_of_set;
+  let lo = Array.fold_left min counts.(0) counts in
+  let hi = Array.fold_left max counts.(0) counts in
+  check_bool "regions within one set" true (hi - lo <= 1)
+
+let test_fallback_single_core_mesh () =
+  let cfg =
+    {
+      Machine.Config.default with
+      Machine.Config.rows = 1;
+      cols = 1;
+      region_h = 1;
+      region_w = 1;
+    }
+  in
+  let prog = tiny_prog ~iters:400 () in
+  let fb = Baselines.Fallback.map ~fraction:0.01 cfg prog in
+  check_bool "everything on the one core" true
+    (Array.for_all (fun c -> c = 0) fb.Baselines.Fallback.core_of);
+  check_fb "single-core mesh" cfg prog fb
+
+let test_fallback_invalid_fraction () =
+  let prog = tiny_prog () in
+  Alcotest.check_raises "fraction out of range"
+    (Invalid_argument "Iter_set.partition: fraction out of (0, 1]")
+    (fun () ->
+      ignore (Baselines.Fallback.map ~fraction:0. Machine.Config.default prog))
+
 let () =
   Alcotest.run "baselines"
     [
@@ -100,5 +185,16 @@ let () =
           Alcotest.test_case "rotation range" `Quick test_layout_rotation_range;
           Alcotest.test_case "permutation" `Quick test_layout_optimize_is_permutation;
           Alcotest.test_case "objective" `Quick test_layout_objective_not_worse;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "minimal program" `Quick
+            test_fallback_minimal_program;
+          Alcotest.test_case "sets exceed cores" `Quick
+            test_fallback_sets_exceed_cores;
+          Alcotest.test_case "single-core mesh" `Quick
+            test_fallback_single_core_mesh;
+          Alcotest.test_case "invalid fraction" `Quick
+            test_fallback_invalid_fraction;
         ] );
     ]

@@ -1,0 +1,182 @@
+(* Tests for the concurrency lint (Verify.Lint) on inline sources:
+   unguarded shared mutable state is flagged, mutex-disciplined and
+   purely local state is not, and the .mli thread-safety contract is
+   enforced. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scan ?concurrency ?require_contract ?intf code =
+  Verify.Lint.scan_source ?concurrency ?require_contract
+    { Verify.Lint.path = "inline.ml"; code; intf }
+
+let rules fs = List.map (fun (f : Verify.Lint.finding) -> f.rule) fs
+
+let has rule fs = List.mem rule (rules fs)
+
+(* ------------------------------------------------------------------ *)
+
+let test_unguarded_global () =
+  let fs = scan "let cache = Hashtbl.create 64\n\nlet get k = Hashtbl.find cache k\n" in
+  check_bool "global Hashtbl flagged" true (has "unguarded-global" fs);
+  let f = List.hd fs in
+  check_int "on the binding line" 1 f.Verify.Lint.line;
+  check_bool "names the binding" true
+    (String.length f.Verify.Lint.message > 0)
+
+let test_unguarded_ref () =
+  let fs = scan "let hits = ref 0\n" in
+  check_bool "global ref flagged" true (has "unguarded-global" fs)
+
+let test_mutex_disciplined_ok () =
+  let fs =
+    scan
+      "let m = Mutex.create ()\n\
+       let cache = Hashtbl.create 64\n\n\
+       let get k = Mutex.protect m (fun () -> Hashtbl.find cache k)\n"
+  in
+  check_int "protected use is clean" 0 (List.length fs)
+
+let test_unguarded_use_flagged () =
+  let fs =
+    scan
+      "let m = Mutex.create ()\n\
+       let cache = Hashtbl.create 64\n\n\
+       let get k = Mutex.protect m (fun () -> Hashtbl.find cache k)\n\n\
+       let raw k = Hashtbl.find cache k\n"
+  in
+  check_bool "raw use beside a mutex flagged" true
+    (has "unguarded-global-use" fs);
+  check_int "only the raw use" 1 (List.length fs)
+
+let test_guard_wrapper_recognised () =
+  (* The lib/harness idiom: a top-level wrapper owns the locking and
+     every use goes through it. *)
+  let fs =
+    scan
+      "let m = Mutex.create ()\n\
+       let cache = Hashtbl.create 64\n\n\
+       let with_cache f = Mutex.protect m (fun () -> f cache)\n\n\
+       let get k = with_cache (fun c -> Hashtbl.find c k)\n"
+  in
+  check_int "guard wrapper accepted" 0 (List.length fs)
+
+let test_local_state_ok () =
+  (* Mutable state inside a function body is worker-local. *)
+  let fs =
+    scan
+      "let count xs =\n\
+      \  let n = ref 0 in\n\
+      \  List.iter (fun _ -> incr n) xs;\n\
+      \  !n\n"
+  in
+  check_int "local ref is clean" 0 (List.length fs)
+
+let test_nested_value_state_ok () =
+  (* A ref allocated inside a nested [let] of a top-level value is not
+     itself top-level state (the locmap_cli batch-command shape). *)
+  let fs =
+    scan
+      "let cmd =\n\
+      \  let lines = ref [] in\n\
+      \  run lines\n"
+  in
+  check_int "nested ref in a value is clean" 0 (List.length fs)
+
+let test_creator_in_comment_or_string_ok () =
+  let fs =
+    scan
+      "(* Hashtbl.create is discussed here *)\n\
+       let doc = \"uses Hashtbl.create 8\"\n"
+  in
+  check_int "comments and strings stripped" 0 (List.length fs)
+
+let test_mutable_field_no_mutex () =
+  let fs = scan "type t = {\n  mutable count : int;\n}\n" in
+  check_bool "mutable field flagged" true (has "mutable-field-no-mutex" fs);
+  check_int "on the field line" 2 (List.hd fs).Verify.Lint.line;
+  let fs' =
+    scan "let m = Mutex.create ()\n\ntype t = {\n  mutable count : int;\n}\n"
+  in
+  check_int "mutex in module accepted" 0 (List.length fs')
+
+let test_lint_ignore () =
+  let fs =
+    scan "let hits = ref 0 (* lint:ignore — metrics, read racily *)\n"
+  in
+  check_int "lint:ignore suppresses" 0 (List.length fs)
+
+let test_contract_rule () =
+  let code = "let x = 1\n" in
+  let fs = scan ~intf:"(** Pure helpers. *)\nval x : int\n" code in
+  check_bool "mli without contract flagged" true
+    (has "missing-thread-safety-contract" fs);
+  let fs' =
+    scan
+      ~intf:"(** {b Thread safety}: stateless. *)\nval x : int\n" code
+  in
+  check_int "contract accepted" 0 (List.length fs');
+  check_int "no mli, nothing to check" 0 (List.length (scan code));
+  check_int "rule can be disabled" 0
+    (List.length (scan ~require_contract:false ~intf:"(** x *)" code))
+
+(* ------------------------------------------------------------------ *)
+(* The repository's own gates. [dune runtest] runs with the test
+   directory as cwd; [dune exec test/...] runs from the repo root. *)
+
+let locate candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+      Alcotest.failf "none of %s exists from %s"
+        (String.concat ", " candidates)
+        (Sys.getcwd ())
+
+let test_pool_reachable_sources_clean () =
+  check_int "lib/service + lib/harness lint clean" 0
+    (List.length
+       (Verify.Lint.scan_dirs
+          [
+            locate [ "../lib/service"; "lib/service" ];
+            locate [ "../lib/harness"; "lib/harness" ];
+          ]))
+
+let test_seeded_fixture_flagged () =
+  let fs =
+    Verify.Lint.scan_dirs
+      [ locate [ "fixtures/lint"; "test/fixtures/lint" ] ]
+  in
+  check_bool "seeded fixture flagged" true (has "unguarded-global" fs)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "mutable-state",
+        [
+          Alcotest.test_case "unguarded global" `Quick test_unguarded_global;
+          Alcotest.test_case "unguarded ref" `Quick test_unguarded_ref;
+          Alcotest.test_case "mutex disciplined" `Quick
+            test_mutex_disciplined_ok;
+          Alcotest.test_case "unguarded use" `Quick test_unguarded_use_flagged;
+          Alcotest.test_case "guard wrapper" `Quick
+            test_guard_wrapper_recognised;
+          Alcotest.test_case "local state" `Quick test_local_state_ok;
+          Alcotest.test_case "nested value state" `Quick
+            test_nested_value_state_ok;
+          Alcotest.test_case "comments stripped" `Quick
+            test_creator_in_comment_or_string_ok;
+          Alcotest.test_case "mutable field" `Quick
+            test_mutable_field_no_mutex;
+          Alcotest.test_case "lint:ignore" `Quick test_lint_ignore;
+        ] );
+      ( "contract",
+        [ Alcotest.test_case "thread-safety contract" `Quick test_contract_rule ]
+      );
+      ( "repository",
+        [
+          Alcotest.test_case "pool-reachable clean" `Quick
+            test_pool_reachable_sources_clean;
+          Alcotest.test_case "seeded fixture" `Quick
+            test_seeded_fixture_flagged;
+        ] );
+    ]
