@@ -1,7 +1,8 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
 .PHONY: all check test bench bench-service bench-resilience bench-verify \
-        chaos sweep lint fmt fmt-check verify clean
+        bench-analysis bench-analysis-smoke chaos sweep lint fmt fmt-check \
+        verify clean
 
 all:
 	dune build
@@ -20,6 +21,17 @@ bench:
 # solution-cache hit rate under a Zipf-skewed request mix.
 bench-service:
 	dune exec bench/service_bench.exe
+
+# Analysis fast-path benchmark: summary construction per registry
+# workload, seed sequential path vs the memoized fast path at 1/2/4/8
+# domains; writes BENCH_analysis.json (geomean CME speedup target:
+# >= 3x). The smoke variant is the CI bit-rot gate: 3 workloads at
+# scale 0.1, and it cross-checks fast = seed summaries byte-for-byte.
+bench-analysis:
+	dune exec bench/analysis_bench.exe
+
+bench-analysis-smoke:
+	dune exec bench/analysis_bench.exe -- --smoke --out /dev/null
 
 # Resilience-layer cost: wrapper overhead with injection disabled
 # (p50/p99, target < 2%) and degraded-path vs full-pipeline latency.
@@ -40,10 +52,13 @@ chaos:
 sweep:
 	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
 
-# Concurrency lint over the Pool-reachable sources (see Verify.Lint),
-# then a self-test: the seeded bad fixture must still be flagged.
+# Concurrency lint over the Pool-reachable sources (see Verify.Lint):
+# the serving layer, the pool itself, and the analysis fast path that
+# pool workers execute concurrently. Then a self-test: the seeded bad
+# fixture must still be flagged.
 lint:
-	dune exec bin/locmap_lint.exe -- lib/service lib/harness
+	dune exec bin/locmap_lint.exe -- lib/service lib/harness lib/par \
+	  lib/core/analysis.ml lib/core/line_memo.ml lib/core/mapper.ml
 	@if dune exec bin/locmap_lint.exe -- -q test/fixtures/lint \
 	    > /dev/null 2>&1; then \
 	  echo "lint self-test FAILED: seeded fixture not flagged"; exit 1; \

@@ -1,0 +1,334 @@
+(* Analysis fast-path benchmark: summary construction per registry
+   workload, sequential seed path vs the memoized/chunked fast path at
+   1/2/4/8 domains.
+
+     dune exec bench/analysis_bench.exe                # or: make bench-analysis
+     dune exec bench/analysis_bench.exe -- --smoke     # CI bit-rot gate
+
+   For every workload the bench times
+     - the *seed* CME path: a faithful reimplementation of the
+       pre-fast-path code (per-access closure via [Trace.iter_range],
+       direct [Addr_map] translate/bank/MC calls, one streamed
+       predictor) — the baseline the ISSUE's >= 3x target is against;
+     - [Analysis.cme_summaries] at each domain count (1 = no pool);
+     - the seed and fast observed paths, sequential by design (the
+       replay threads shared cache state through the whole trace).
+
+   Results go to BENCH_analysis.json, including the geomean CME speedup
+   of the 8-domain fast path over the seed sequential path. *)
+
+let scale = ref 0.35
+let domain_counts = ref [ 1; 2; 4; 8 ]
+let smoke = ref false
+let out_file = ref "BENCH_analysis.json"
+let llc = ref Cache.Llc.Shared
+
+let usage =
+  "analysis_bench.exe [--scale S] [--domains 1,2,4,8] [--llc private|shared] \
+   [--out FILE] [--smoke]"
+
+let args =
+  [
+    ( "--scale",
+      Arg.Set_float scale,
+      "S workload input-size scale (default 0.35)" );
+    ( "--domains",
+      Arg.String
+        (fun s ->
+          domain_counts := String.split_on_char ',' s |> List.map int_of_string),
+      "LIST domain counts (default 1,2,4,8)" );
+    ( "--llc",
+      Arg.String
+        (fun s ->
+          llc :=
+            match s with
+            | "private" -> Cache.Llc.Private
+            | "shared" -> Cache.Llc.Shared
+            | _ -> raise (Arg.Bad ("unknown llc organisation " ^ s))),
+      "ORG llc organisation (default shared — exercises region lookups)" );
+    ("--out", Arg.Set_string out_file, "FILE output path (default BENCH_analysis.json)");
+    ( "--smoke",
+      Arg.Unit
+        (fun () ->
+          smoke := true;
+          scale := 0.1;
+          domain_counts := [ 1; 2 ]),
+      " quick CI variant: 3 workloads, scale 0.1, domains 1,2" );
+  ]
+
+(* Best of three runs: each path is deterministic, so the minimum is
+   the cleanest estimate of its cost on a noisy shared machine. *)
+let time f =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let r, ms0 = once () in
+  let _, ms1 = once () in
+  let _, ms2 = once () in
+  (r, min ms0 (min ms1 ms2))
+
+(* The seed implementation of [cme_summaries], kept verbatim-in-spirit
+   so the speedup is measured against what the tree actually shipped:
+   closure-per-access expansion and direct address-map calls. *)
+let seed_cme_summaries (cfg : Machine.Config.t) amap trace ~sets =
+  let prog = Ir.Trace.program trace in
+  let layout = Ir.Trace.layout trace in
+  let regions = Locmap.Region.create cfg in
+  let shared = Cache.Llc.equal cfg.llc_org Cache.Llc.Shared in
+  let summaries =
+    Array.init (Array.length sets) (fun _ ->
+        Locmap.Summary.create
+          ~num_mcs:(Machine.Addr_map.num_mcs amap)
+          ~num_regions:(Machine.Config.num_regions cfg))
+  in
+  let predictor = ref None in
+  let current_nest = ref (-1) in
+  Array.iteri
+    (fun k (s : Ir.Iter_set.t) ->
+      if s.nest <> !current_nest then begin
+        current_nest := s.nest;
+        predictor := Some (Cme.create cfg prog layout ~nest:s.nest)
+      end;
+      let p = Option.get !predictor in
+      let sm = summaries.(k) in
+      Ir.Trace.iter_range ~step:0 trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
+        (fun ~addr ~write:_ ->
+          let pa = Machine.Addr_map.translate amap addr in
+          match Cme.classify p with
+          | Cme.L1_hit -> Locmap.Summary.add_l1_hit sm
+          | Cme.Llc_hit ->
+              let region =
+                if shared then
+                  Locmap.Region.of_node regions
+                    (Machine.Addr_map.bank_node_of amap pa)
+                else 0
+              in
+              Locmap.Summary.add_llc_hit sm ~region
+          | Cme.Llc_miss ->
+              let bank_region =
+                if shared then
+                  Locmap.Region.of_node regions
+                    (Machine.Addr_map.bank_node_of amap pa)
+                else -1
+              in
+              Locmap.Summary.add_llc_miss sm ~bank_region
+                ~mc:(Machine.Addr_map.mc_of amap pa)))
+    sets;
+  summaries
+
+(* Seed observed path, same vintage: closure expansion, per-access
+   translate and bank lookups against the address map. *)
+let seed_observed_summaries (cfg : Machine.Config.t) amap trace ~sets =
+  let regions = Locmap.Region.create cfg in
+  let shared = Cache.Llc.equal cfg.llc_org Cache.Llc.Shared in
+  let l1 =
+    Cache.Sa_cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc
+      ~line_size:cfg.l1_line ()
+  in
+  let banks =
+    if shared then
+      Array.init (Machine.Config.num_cores cfg) (fun _ ->
+          Cache.Sa_cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc
+            ~line_size:cfg.l2_line ())
+    else
+      [|
+        Cache.Sa_cache.create ~size:cfg.l2_size ~assoc:cfg.l2_assoc
+          ~line_size:cfg.l2_line ();
+      |]
+  in
+  let summaries =
+    Array.init (Array.length sets) (fun _ ->
+        Locmap.Summary.create
+          ~num_mcs:(Machine.Addr_map.num_mcs amap)
+          ~num_regions:(Machine.Config.num_regions cfg))
+  in
+  Array.iteri
+    (fun k (s : Ir.Iter_set.t) ->
+      let sm = summaries.(k) in
+      Ir.Trace.iter_range ~step:0 trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
+        (fun ~addr ~write ->
+          let pa = Machine.Addr_map.translate amap addr in
+          match Cache.Sa_cache.access l1 ~addr:pa ~write with
+          | Cache.Sa_cache.Hit -> Locmap.Summary.add_l1_hit sm
+          | Cache.Sa_cache.Miss _ -> (
+              let bank_node, bank =
+                if shared then
+                  let b = Machine.Addr_map.bank_node_of amap pa in
+                  (b, banks.(b))
+                else (0, banks.(0))
+              in
+              match Cache.Sa_cache.access bank ~addr:pa ~write with
+              | Cache.Sa_cache.Hit ->
+                  let region =
+                    if shared then Locmap.Region.of_node regions bank_node
+                    else 0
+                  in
+                  Locmap.Summary.add_llc_hit sm ~region
+              | Cache.Sa_cache.Miss _ ->
+                  let bank_region =
+                    if shared then Locmap.Region.of_node regions bank_node
+                    else -1
+                  in
+                  Locmap.Summary.add_llc_miss sm ~bank_region
+                    ~mc:(Machine.Addr_map.mc_of amap pa))))
+    sets;
+  summaries
+
+let total_accesses trace sets =
+  Array.fold_left
+    (fun acc (s : Ir.Iter_set.t) ->
+      acc
+      + (Ir.Iter_set.size s * Ir.Trace.accesses_per_par_iter trace ~nest:s.nest))
+    0 sets
+
+let summaries_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Locmap.Summary.t) (y : Locmap.Summary.t) ->
+         x.mc_counts = y.mc_counts
+         && x.region_counts = y.region_counts
+         && x.miss_region_counts = y.miss_region_counts
+         && x.llc_hits = y.llc_hits
+         && x.llc_misses = y.llc_misses
+         && x.l1_hits = y.l1_hits)
+       a b
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let names =
+    if !smoke then [ "mxm"; "jacobi-3d"; "barnes" ]
+    else Workloads.Registry.names
+  in
+  let cfg = { Machine.Config.default with llc_org = !llc } in
+  let pools =
+    List.map
+      (fun d -> (d, Par.Pool.create ~num_domains:(if d <= 1 then 0 else d) ()))
+      !domain_counts
+  in
+  Printf.printf "analysis bench: scale %.2f, llc %s, %d workloads\n%!" !scale
+    (match !llc with Cache.Llc.Private -> "private" | _ -> "shared")
+    (List.length names);
+  Printf.printf "%-12s %9s | %9s %s | %9s %9s\n" "workload" "accesses"
+    "cme-seed"
+    (String.concat " "
+       (List.map (fun d -> Printf.sprintf "cme-%dd" d) !domain_counts))
+    "obs-seed" "obs-fast";
+  let rows =
+    List.map
+      (fun name ->
+        let p = Harness.Experiment.prepare_name ~scale:!scale name in
+        let trace = p.Harness.Experiment.trace in
+        let pt = Mem.Page_table.create ~page_size:cfg.page_size () in
+        let amap = Machine.Addr_map.create cfg pt in
+        let sets =
+          Ir.Iter_set.partition p.Harness.Experiment.prog
+            ~fraction:cfg.iter_set_fraction
+        in
+        let accesses = total_accesses trace sets in
+        let memo = Locmap.Line_memo.create cfg amap (Ir.Trace.layout trace) in
+        let seed_sum, cme_seed_ms =
+          time (fun () -> seed_cme_summaries cfg amap trace ~sets)
+        in
+        let cme_ms =
+          List.map
+            (fun (d, pool) ->
+              let fast, ms =
+                time (fun () ->
+                    Locmap.Analysis.cme_summaries ~pool ~memo cfg amap trace
+                      ~sets)
+              in
+              if not (summaries_equal seed_sum fast) then begin
+                Printf.eprintf
+                  "FATAL: %s: %d-domain fast CME summaries differ from seed\n"
+                  name d;
+                exit 1
+              end;
+              (d, ms))
+            pools
+        in
+        let seed_obs, obs_seed_ms =
+          time (fun () -> seed_observed_summaries cfg amap trace ~sets)
+        in
+        let fast_obs, obs_fast_ms =
+          time (fun () ->
+              fst
+                (Locmap.Analysis.observed_summaries ~warm_pass:false ~memo cfg
+                   amap trace ~sets))
+        in
+        if not (summaries_equal seed_obs fast_obs) then begin
+          Printf.eprintf
+            "FATAL: %s: fast observed summaries differ from seed\n" name;
+          exit 1
+        end;
+        Printf.printf "%-12s %9d | %8.1fms %s | %8.1fms %8.1fms\n%!" name
+          accesses cme_seed_ms
+          (String.concat " "
+             (List.map (fun (_, ms) -> Printf.sprintf "%7.1fms" ms) cme_ms))
+          obs_seed_ms obs_fast_ms;
+        (name, p.Harness.Experiment.entry.Workloads.Registry.kind, accesses,
+         Array.length sets, cme_seed_ms, cme_ms, obs_seed_ms, obs_fast_ms))
+      names
+  in
+  List.iter (fun (_, pool) -> Par.Pool.shutdown pool) pools;
+  let max_domains = List.fold_left max 1 !domain_counts in
+  let speedup_at_max (_, _, _, _, seed_ms, cme_ms, _, _) =
+    seed_ms /. List.assoc max_domains cme_ms
+  in
+  let geomean =
+    let logs = List.map (fun r -> log (speedup_at_max r)) rows in
+    exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
+  in
+  Printf.printf
+    "geomean cme_summaries speedup (%d domains vs seed sequential): %.2fx\n"
+    max_domains geomean;
+  let json =
+    Service.Json.Obj
+      [
+        ("scale", Service.Json.Float !scale);
+        ( "llc",
+          Service.Json.String
+            (match !llc with Cache.Llc.Private -> "private" | _ -> "shared")
+        );
+        ( "domains",
+          Service.Json.List
+            (List.map (fun d -> Service.Json.Int d) !domain_counts) );
+        ("smoke", Service.Json.Bool !smoke);
+        ( "workloads",
+          Service.Json.List
+            (List.map
+               (fun (name, kind, accesses, nsets, cme_seed_ms, cme_ms,
+                     obs_seed_ms, obs_fast_ms) ->
+                 Service.Json.Obj
+                   [
+                     ("name", Service.Json.String name);
+                     ( "kind",
+                       Service.Json.String
+                         (match kind with
+                         | Ir.Program.Regular -> "regular"
+                         | Ir.Program.Irregular -> "irregular") );
+                     ("accesses", Service.Json.Int accesses);
+                     ("sets", Service.Json.Int nsets);
+                     ("cme_seed_ms", Service.Json.Float cme_seed_ms);
+                     ( "cme_ms",
+                       Service.Json.Obj
+                         (List.map
+                            (fun (d, ms) ->
+                              (string_of_int d, Service.Json.Float ms))
+                            cme_ms) );
+                     ( "cme_speedup_max_domains",
+                       Service.Json.Float
+                         (cme_seed_ms /. List.assoc max_domains cme_ms) );
+                     ("observed_seed_ms", Service.Json.Float obs_seed_ms);
+                     ("observed_fast_ms", Service.Json.Float obs_fast_ms);
+                   ])
+               rows) );
+        ("geomean_cme_speedup_max_domains_vs_seed", Service.Json.Float geomean);
+      ]
+  in
+  let oc = open_out !out_file in
+  output_string oc (Service.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !out_file

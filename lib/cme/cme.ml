@@ -7,6 +7,7 @@ type outcome =
 
 type t = {
   nbody : int;
+  inner_trip : int;  (* executions of each reference per parallel iter *)
   l1_p : int array;  (* per reference: L1 miss period over executions *)
   llc_p : int array;  (* LLC miss period over the reference's L1 misses *)
   counters : int array;  (* executions seen per reference *)
@@ -67,6 +68,7 @@ let create (cfg : Machine.Config.t) prog layout ~nest =
   in
   {
     nbody = Array.length infos;
+    inner_trip;
     l1_p = Array.map l1_of infos;
     llc_p = Array.map llc_of infos;
     counters = Array.make (Array.length infos) 0;
@@ -76,7 +78,8 @@ let create (cfg : Machine.Config.t) prog layout ~nest =
 
 let classify t =
   let r = t.cursor in
-  t.cursor <- (t.cursor + 1) mod t.nbody;
+  let next = r + 1 in
+  t.cursor <- (if next = t.nbody then 0 else next);
   let c = t.counters.(r) in
   t.counters.(r) <- c + 1;
   let p1 = t.l1_p.(r) in
@@ -92,10 +95,19 @@ let classify t =
     if miss_llc then Llc_miss else Llc_hit
   end
 
-let reset t =
-  Array.fill t.counters 0 t.nbody 0;
+let seek t ~iteration =
+  if iteration < 0 then invalid_arg "Cme.seek: negative iteration";
+  (* Every body reference executes exactly [inner_trip] times per
+     parallel iteration and the stream cursor returns to body position
+     0 at each iteration boundary, so the whole classifier state after
+     iterations [0, iteration) is this one uniform counter value. *)
+  Array.fill t.counters 0 t.nbody (iteration * t.inner_trip);
   t.cursor <- 0
 
+let reset t = seek t ~iteration:0
+
+let num_refs t = t.nbody
+let inner_trip t = t.inner_trip
 let l1_period t r = t.l1_p.(r)
 let llc_period t r = t.llc_p.(r)
 let fits_llc t = t.fits

@@ -37,9 +37,33 @@ val classify : t -> outcome
 val reset : t -> unit
 (** Rewinds the stream to the first access. *)
 
+val seek : t -> iteration:int -> unit
+(** [seek t ~iteration] positions the classification stream at the
+    start of parallel iteration [iteration] — exactly the state
+    {!classify} would reach after streaming all accesses of iterations
+    [0, iteration) (each reference's execution counter advances by the
+    nest's inner trip count per parallel iteration, and the body cursor
+    returns to 0 at every iteration boundary). This makes
+    classification restartable at any iteration-set boundary, which is
+    what lets the analysis fast path shard sets across domains and
+    still produce byte-identical summaries. Raises [Invalid_argument]
+    on a negative iteration. *)
+
+val num_refs : t -> int
+(** Number of body references in the nest. *)
+
+val inner_trip : t -> int
+(** Executions of each body reference per parallel iteration. *)
+
 val l1_period : t -> int -> int
 (** [l1_period t r] is reference [r]'s L1 miss period ([max_int] means
-    cold miss only). For tests and diagnostics. *)
+    cold miss only). Together with {!llc_period} this exposes the whole
+    classification law: reference [r]'s execution [c] L1-misses iff
+    [c mod p1 = 0] (or [c = 0] when cold-only), and that miss reaches
+    memory iff the running L1-miss index [c / p1] is a multiple of
+    [p2] — which lets the analysis fast path classify a whole iteration
+    set per reference in closed form instead of streaming every
+    access. *)
 
 val llc_period : t -> int -> int
 (** LLC miss period among the reference's L1 misses. *)

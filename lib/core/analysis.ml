@@ -6,50 +6,213 @@ let fresh_summaries cfg amap ~count =
   Array.init count (fun _ ->
       Summary.create ~num_mcs:(Machine.Addr_map.num_mcs amap) ~num_regions)
 
-let cme_summaries (cfg : Machine.Config.t) amap trace ~sets =
+(* ------------------------------------------------------------------ *)
+(* Chunked trace expansion.
+
+   Both paths expand the trace through [Trace.fill_range] into a
+   reusable flat buffer, one chunk of parallel iterations at a time:
+   the inner loops then walk encoded ints instead of paying a closure
+   call per access, and the buffer stays cache-resident. *)
+
+let chunk_accesses = 1 lsl 16
+
+let max_appi trace sets =
+  Array.fold_left
+    (fun acc (s : Ir.Iter_set.t) ->
+      max acc (Ir.Trace.accesses_per_par_iter trace ~nest:s.nest))
+    1 sets
+
+let fresh_buffer trace sets = Array.make (max chunk_accesses (max_appi trace sets)) 0
+
+(* ------------------------------------------------------------------ *)
+(* CME path.
+
+   The classifier's verdict for reference [r]'s execution [c] is pure
+   period arithmetic ({!Cme.l1_period}): L1 miss iff [c mod p1 = 0]
+   (iff [c = 0] when cold-only), and that miss reaches memory iff
+   [c / p1] is a multiple of [p2]. Summaries are commutative counters,
+   so instead of streaming every access through [Cme.classify] the set
+   is folded per reference: L1 hits are bulk-counted in O(1), and only
+   the LLC-reaching executions — one in [p1] — are visited at all,
+   through {!Ir.Trace.iter_body_periodic}, to resolve their line's
+   location from the memo. The result is byte-identical to the
+   streamed walk (the analysis bench and test suite cross-check this),
+   and a set's summary depends only on the set itself, which is what
+   makes sharding sets across domains byte-identical too. *)
+
+(* Multiples of [p] in [lo, hi), for 0 <= lo <= hi. *)
+let multiples_in p ~lo ~hi = ((hi + p - 1) / p) - ((lo + p - 1) / p)
+
+let cme_set ~shared memo trace p (s : Ir.Iter_set.t) sm =
+  let inner_trip = Cme.inner_trip p in
+  let c0 = s.lo * inner_trip and c1 = s.hi * inner_trip in
+  let total = c1 - c0 in
+  (* The [shared] branch, hoisted out of every loop. *)
+  let add_hit, add_miss, add_misses =
+    if shared then
+      ( (fun addr ->
+          let loc = Line_memo.loc_of memo addr in
+          Summary.add_llc_hit sm ~region:(Line_memo.region_of_loc loc)),
+        (fun addr ->
+          let loc = Line_memo.loc_of memo addr in
+          Summary.add_llc_miss sm
+            ~bank_region:(Line_memo.region_of_loc loc)
+            ~mc:(Line_memo.mc_of_loc loc)),
+        fun addr count ->
+          let loc = Line_memo.loc_of memo addr in
+          Summary.add_llc_misses sm
+            ~bank_region:(Line_memo.region_of_loc loc)
+            ~mc:(Line_memo.mc_of_loc loc) count )
+    else
+      ( (fun _addr -> Summary.add_llc_hit sm ~region:0),
+        (fun addr ->
+          Summary.add_llc_miss sm ~bank_region:(-1)
+            ~mc:(Line_memo.mc_of memo addr)),
+        fun addr count ->
+          Summary.add_llc_misses sm ~bank_region:(-1)
+            ~mc:(Line_memo.mc_of memo addr) count )
+  in
+  for r = 0 to Cme.num_refs p - 1 do
+    let p1 = Cme.l1_period p r in
+    if p1 = max_int then begin
+      (* Cold-only at L1: the single miss is execution 0, and with no
+         prior L1 misses the classifier always sends it to memory. *)
+      let nmiss = if c0 = 0 && c1 > 0 then 1 else 0 in
+      Summary.add_l1_hits sm (total - nmiss);
+      if nmiss = 1 then
+        Ir.Trace.iter_body_periodic trace ~nest:s.nest ~body:r ~first:0 ~hi:1
+          ~period:1 (fun ~exec:_ ~addr -> add_miss addr)
+    end
+    else if p1 = 1 && Cme.llc_period p r = 1 && Line_memo.memoized memo then
+      (* Every execution is an LLC miss (streaming references, and all
+         references of irregular nests). Outcomes are order-independent
+         counts, so the set is walked in line blocks: consecutive
+         parallel iterations on the same line share one location lookup
+         and one bulk summary update. Only sound when the memo is exact
+         (one location per line); otherwise the ordered walk below
+         handles it. *)
+      Ir.Trace.iter_body_line_blocks trace ~nest:s.nest ~body:r ~lo:s.lo
+        ~hi:s.hi
+        ~line:(Line_memo.line_size memo)
+        (fun ~addr ~count -> add_misses addr count)
+    else begin
+      let nmiss = multiples_in p1 ~lo:c0 ~hi:c1 in
+      Summary.add_l1_hits sm (total - nmiss);
+      if nmiss > 0 then begin
+        let first = (c0 + p1 - 1) / p1 * p1 in
+        let p2 = Cme.llc_period p r in
+        if p2 = max_int then
+          (* Cold-only at LLC: only L1-miss index 0, i.e. execution 0. *)
+          Ir.Trace.iter_body_periodic trace ~nest:s.nest ~body:r ~first ~hi:c1
+            ~period:p1 (fun ~exec ~addr ->
+              if exec = 0 then add_miss addr else add_hit addr)
+        else begin
+          (* The visited executions have L1-miss indices first/p1,
+             first/p1 + 1, ...; every [p2]-th of those is an LLC miss.
+             A countdown avoids a division per visit. *)
+          let until_miss = ref ((p2 - (first / p1 mod p2)) mod p2) in
+          Ir.Trace.iter_body_periodic trace ~nest:s.nest ~body:r ~first ~hi:c1
+            ~period:p1 (fun ~exec:_ ~addr ->
+              if !until_miss = 0 then begin
+                add_miss addr;
+                until_miss := p2 - 1
+              end
+              else begin
+                add_hit addr;
+                decr until_miss
+              end)
+        end
+      end
+    end
+  done
+
+(* Contiguous set ranges with roughly equal access counts, so every
+   domain gets comparable work no matter how set sizes vary. *)
+let shard_ranges trace sets ~nshards =
+  let n = Array.length sets in
+  let cost k =
+    let s : Ir.Iter_set.t = sets.(k) in
+    Ir.Iter_set.size s * Ir.Trace.accesses_per_par_iter trace ~nest:s.nest
+  in
+  let total = ref 0 in
+  for k = 0 to n - 1 do
+    total := !total + cost k
+  done;
+  let ranges = ref [] in
+  let start = ref 0 in
+  let acc = ref 0 in
+  let shard = ref 0 in
+  for k = 0 to n - 1 do
+    acc := !acc + cost k;
+    let boundary = !total * (!shard + 1) / nshards in
+    if !acc >= boundary && k + 1 > !start && !shard < nshards - 1 then begin
+      ranges := (!start, k + 1) :: !ranges;
+      start := k + 1;
+      incr shard
+    end
+  done;
+  if !start < n then ranges := (!start, n) :: !ranges;
+  Array.of_list (List.rev !ranges)
+
+let cme_summaries ?pool ?memo (cfg : Machine.Config.t) amap trace ~sets =
   let prog = Ir.Trace.program trace in
   let layout = Ir.Trace.layout trace in
-  let regions = Region.create cfg in
+  let memo =
+    match memo with
+    | Some m -> m
+    | None -> Line_memo.create cfg amap layout
+  in
   let shared = is_shared cfg in
-  let summaries = fresh_summaries cfg amap ~count:(Array.length sets) in
-  let predictor = ref None in
-  let current_nest = ref (-1) in
-  Array.iteri
-    (fun k (s : Ir.Iter_set.t) ->
+  (* Summaries for the contiguous set range [a, b): the unit of work a
+     shard executes. Each range carries its own predictors, so ranges
+     share nothing but the immutable memo/trace. *)
+  let run_range (a, b) =
+    let out = fresh_summaries cfg amap ~count:(b - a) in
+    let predictor = ref None in
+    let current_nest = ref (-1) in
+    for k = a to b - 1 do
+      let s : Ir.Iter_set.t = sets.(k) in
       if s.nest <> !current_nest then begin
         current_nest := s.nest;
         predictor := Some (Cme.create cfg prog layout ~nest:s.nest)
       end;
-      let p = Option.get !predictor in
-      let sm = summaries.(k) in
-      Ir.Trace.iter_range ~step:0 trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
-        (fun ~addr ~write:_ ->
-          let pa = Machine.Addr_map.translate amap addr in
-          match Cme.classify p with
-          | Cme.L1_hit -> Summary.add_l1_hit sm
-          | Cme.Llc_hit ->
-              let region =
-                if shared then
-                  Region.of_node regions
-                    (Machine.Addr_map.bank_node_of amap pa)
-                else 0
-              in
-              Summary.add_llc_hit sm ~region
-          | Cme.Llc_miss ->
-              let bank_region =
-                if shared then
-                  Region.of_node regions
-                    (Machine.Addr_map.bank_node_of amap pa)
-                else -1
-              in
-              Summary.add_llc_miss sm ~bank_region
-                ~mc:(Machine.Addr_map.mc_of amap pa)))
-    sets;
-  summaries
+      cme_set ~shared memo trace (Option.get !predictor) s out.(k - a)
+    done;
+    out
+  in
+  let nsets = Array.length sets in
+  let domains =
+    match pool with Some p -> Par.Pool.num_domains p | None -> 0
+  in
+  if domains <= 1 || nsets <= 1 then run_range (0, nsets)
+  else begin
+    let nshards = min nsets (4 * domains) in
+    let ranges = shard_ranges trace sets ~nshards in
+    let slices = Par.Pool.map (Option.get pool) run_range ranges in
+    (* Deterministic merge: shards are contiguous ranges concatenated
+       back in set order, so the result is positionally identical to
+       the sequential walk. *)
+    Array.concat (Array.to_list slices)
+  end
 
-let observed_summaries ?(warm_pass = true) (cfg : Machine.Config.t) amap trace
-    ~sets =
-  let regions = Region.create cfg in
+(* ------------------------------------------------------------------ *)
+(* Observed path.
+
+   The replay is inherently sequential: one L1 and one set of bank
+   caches model the machine's state as the whole trace streams
+   through, so every access's hit/miss outcome depends on all earlier
+   accesses — across set boundaries (and, for the warm pass, across
+   the cold pass too). Sharding sets would give each shard cold caches
+   and change every outcome; the fast path here is therefore the memo
+   plus chunked expansion only, never domains. *)
+
+let observed_summaries ?(warm_pass = true) ?memo (cfg : Machine.Config.t) amap
+    trace ~sets =
+  let memo =
+    match memo with
+    | Some m -> m
+    | None -> Line_memo.create cfg amap (Ir.Trace.layout trace)
+  in
   let shared = is_shared cfg in
   let l1 =
     Cache.Sa_cache.create ~size:cfg.l1_size ~assoc:cfg.l1_assoc
@@ -67,34 +230,55 @@ let observed_summaries ?(warm_pass = true) (cfg : Machine.Config.t) amap trace
       |]
   in
   let steps = (Ir.Trace.program trace).Ir.Program.time_steps in
+  let buf = fresh_buffer trace sets in
+  let bank0 = banks.(0) in
   let replay ~step summaries =
     Array.iteri
       (fun k (s : Ir.Iter_set.t) ->
         let sm = summaries.(k) in
-        Ir.Trace.iter_range ~step trace ~nest:s.nest ~lo:s.lo ~hi:s.hi
-          (fun ~addr ~write ->
-            let pa = Machine.Addr_map.translate amap addr in
-            match Cache.Sa_cache.access l1 ~addr:pa ~write with
-            | Cache.Sa_cache.Hit -> Summary.add_l1_hit sm
-            | Cache.Sa_cache.Miss _ -> (
-                let bank_node, bank =
-                  if shared then
-                    let b = Machine.Addr_map.bank_node_of amap pa in
-                    (b, banks.(b))
-                  else (0, banks.(0))
-                in
-                match Cache.Sa_cache.access bank ~addr:pa ~write with
-                | Cache.Sa_cache.Hit ->
-                    let region =
-                      if shared then Region.of_node regions bank_node else 0
-                    in
-                    Summary.add_llc_hit sm ~region
-                | Cache.Sa_cache.Miss _ ->
-                    let bank_region =
-                      if shared then Region.of_node regions bank_node else -1
-                    in
-                    Summary.add_llc_miss sm ~bank_region
-                      ~mc:(Machine.Addr_map.mc_of amap pa))))
+        let appi = Ir.Trace.accesses_per_par_iter trace ~nest:s.nest in
+        let iters_per_chunk = max 1 (chunk_accesses / max 1 appi) in
+        let lo = ref s.lo in
+        while !lo < s.hi do
+          let hi = min s.hi (!lo + iters_per_chunk) in
+          let n = Ir.Trace.fill_range ~step trace ~nest:s.nest ~lo:!lo ~hi ~buf in
+          if shared then
+            for i = 0 to n - 1 do
+              let enc = Array.unsafe_get buf i in
+              let va = enc lsr 1 in
+              let write = enc land 1 = 1 in
+              let pa = Line_memo.translate memo va in
+              match Cache.Sa_cache.access l1 ~addr:pa ~write with
+              | Cache.Sa_cache.Hit -> Summary.add_l1_hit sm
+              | Cache.Sa_cache.Miss _ -> (
+                  let loc = Line_memo.loc_of memo va in
+                  let bank = banks.(Line_memo.node_of_loc loc) in
+                  match Cache.Sa_cache.access bank ~addr:pa ~write with
+                  | Cache.Sa_cache.Hit ->
+                      Summary.add_llc_hit sm
+                        ~region:(Line_memo.region_of_loc loc)
+                  | Cache.Sa_cache.Miss _ ->
+                      Summary.add_llc_miss sm
+                        ~bank_region:(Line_memo.region_of_loc loc)
+                        ~mc:(Line_memo.mc_of_loc loc))
+            done
+          else
+            for i = 0 to n - 1 do
+              let enc = Array.unsafe_get buf i in
+              let va = enc lsr 1 in
+              let write = enc land 1 = 1 in
+              let pa = Line_memo.translate memo va in
+              match Cache.Sa_cache.access l1 ~addr:pa ~write with
+              | Cache.Sa_cache.Hit -> Summary.add_l1_hit sm
+              | Cache.Sa_cache.Miss _ -> (
+                  match Cache.Sa_cache.access bank0 ~addr:pa ~write with
+                  | Cache.Sa_cache.Hit -> Summary.add_llc_hit sm ~region:0
+                  | Cache.Sa_cache.Miss _ ->
+                      Summary.add_llc_miss sm ~bank_region:(-1)
+                        ~mc:(Line_memo.mc_of memo va))
+            done;
+          lo := hi
+        done)
       sets
   in
   let cold = fresh_summaries cfg amap ~count:(Array.length sets) in

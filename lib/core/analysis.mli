@@ -9,17 +9,57 @@
     the *cold* view — what the inspector sees during the first timing
     iteration — and the *warm* view — the steady state the executor
     experiences. The gap between estimated (or cold) and warm summaries
-    is exactly the MAI/CAI error the paper reports in Figures 7a/8a. *)
+    is exactly the MAI/CAI error the paper reports in Figures 7a/8a.
+
+    {b Fast path}: both functions resolve per-access locations through
+    a {!Line_memo} (one array load instead of a
+    translate/bank/region/MC recomputation). The CME path exploits the
+    estimator's closed form ({!Cme.l1_period}): L1 hits are
+    bulk-counted arithmetically per (set, reference), only the
+    LLC-reaching executions are visited ({!Ir.Trace.iter_body_periodic}),
+    and all-miss references aggregate same-line runs of parallel
+    iterations into single bulk updates
+    ({!Ir.Trace.iter_body_line_blocks}). The observed path expands the
+    trace in chunks through {!Ir.Trace.fill_range} into a reusable flat
+    buffer, replacing a closure call per access with a flat array walk.
+    Callers that summarise the same trace more than once — {!Mapper.map}
+    runs the CME path and up to two observed replays — should build the
+    memo once and pass it to every call.
+
+    [cme_summaries] additionally shards iteration sets across the
+    domains of an optional {!Par.Pool}: summaries are additive per set
+    and {!Cme.seek} re-derives the classifier state at any set
+    boundary, so per-shard results merged in set order are
+    byte-identical to the sequential walk at any domain count (the
+    determinism tests check 1/2/4/8). The observed path never uses the
+    pool: its replay threads one L1 and one set of bank caches through
+    the whole trace, so every outcome depends on all earlier accesses
+    and sharding would change the answers.
+
+    {b Thread safety}: both functions only read the trace, address map
+    and memo (all immutable here) and write summaries they allocate
+    themselves, so concurrent calls — including from inside Pool
+    workers, as the serving layer does — are safe. Do not pass the pool
+    that is executing the current job (a job fanning out into its own
+    pool can deadlock); give the analysis its own pool, as
+    {!Mapper.map} documents. *)
 
 val cme_summaries :
+  ?pool:Par.Pool.t ->
+  ?memo:Line_memo.t ->
   Machine.Config.t ->
   Machine.Addr_map.t ->
   Ir.Trace.t ->
   sets:Ir.Iter_set.t array ->
   Summary.t array
+(** [memo], when given, must have been built from the same config,
+    address map and layout (as {!Mapper.map} does); the default builds
+    a fresh one. [pool], when given with more than one domain, shards
+    sets across its workers. *)
 
 val observed_summaries :
   ?warm_pass:bool ->
+  ?memo:Line_memo.t ->
   Machine.Config.t ->
   Machine.Addr_map.t ->
   Ir.Trace.t ->

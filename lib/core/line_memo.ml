@@ -1,0 +1,112 @@
+(* Packed per-line location records. A mesh has well under 2^21 nodes,
+   regions and MCs, so one 63-bit OCaml int holds all three fields. *)
+let pack ~mc ~region ~node = (mc lsl 42) lor (region lsl 21) lor node
+let node_of_loc loc = loc land 0x1FFFFF
+let region_of_loc loc = (loc lsr 21) land 0x1FFFFF
+let mc_of_loc loc = loc lsr 42
+
+(* Eager tables beyond this many lines would cost more memory than the
+   walk they save; larger layouts fall back to direct computation. *)
+let max_lines = 1 lsl 22
+
+type t = {
+  amap : Machine.Addr_map.t;
+  regions : Region.t;
+  line_size : int;
+  line_shift : int;  (* log2 line_size: lookups shift, never divide *)
+  line_mask : int;  (* line_size - 1 *)
+  num_lines : int;
+  exact : bool;
+      (* The memo is line-granular: it is sound only when an LLC line
+         never straddles a page (translation is page-granular), i.e.
+         when [l2_line] divides [page_size] — true for every valid
+         machine config, but checked so a hand-built config degrades to
+         direct computation instead of silently misplacing lines. A
+         non-power-of-two line size (equally impossible on a real
+         machine) also degrades, so the hot lookups can shift and mask
+         instead of dividing. *)
+  phys : int array;  (* line -> physical line *)
+  loc : int array;  (* line -> pack ~mc ~region ~node *)
+}
+
+let log2_of line_size =
+  let rec go s = if 1 lsl s >= line_size then s else go (s + 1) in
+  go 0
+
+let create (cfg : Machine.Config.t) amap layout =
+  let line_size = cfg.l2_line in
+  let regions = Region.create cfg in
+  let footprint = Ir.Layout.footprint layout in
+  let num_lines = (footprint + line_size - 1) / line_size in
+  let pow2 = line_size > 0 && line_size land (line_size - 1) = 0 in
+  let exact =
+    pow2
+    && cfg.page_size mod line_size = 0
+    && num_lines <= max_lines && num_lines > 0
+  in
+  let line_shift = if pow2 then log2_of line_size else 0 in
+  if not exact then
+    {
+      amap;
+      regions;
+      line_size;
+      line_shift;
+      line_mask = line_size - 1;
+      num_lines = 0;
+      exact;
+      phys = [||];
+      loc = [||];
+    }
+  else begin
+    let phys = Array.make num_lines 0 in
+    let loc = Array.make num_lines 0 in
+    for l = 0 to num_lines - 1 do
+      let pa = Machine.Addr_map.translate amap (l * line_size) in
+      let node = Machine.Addr_map.bank_node_of amap pa in
+      phys.(l) <- pa / line_size;
+      loc.(l) <-
+        pack
+          ~mc:(Machine.Addr_map.mc_of amap pa)
+          ~region:(Region.of_node regions node)
+          ~node
+    done;
+    {
+      amap;
+      regions;
+      line_size;
+      line_shift;
+      line_mask = line_size - 1;
+      num_lines;
+      exact;
+      phys;
+      loc;
+    }
+  end
+
+let addr_map t = t.amap
+let regions t = t.regions
+let line_size t = t.line_size
+let num_lines t = t.num_lines
+let memoized t = t.exact
+
+let loc_of t va =
+  let l = va lsr t.line_shift in
+  if va >= 0 && l < t.num_lines then Array.unsafe_get t.loc l
+  else begin
+    let pa = Machine.Addr_map.translate t.amap va in
+    let node = Machine.Addr_map.bank_node_of t.amap pa in
+    pack
+      ~mc:(Machine.Addr_map.mc_of t.amap pa)
+      ~region:(Region.of_node t.regions node)
+      ~node
+  end
+
+let translate t va =
+  let l = va lsr t.line_shift in
+  if va >= 0 && l < t.num_lines then
+    (Array.unsafe_get t.phys l lsl t.line_shift) + (va land t.line_mask)
+  else Machine.Addr_map.translate t.amap va
+
+let bank_node_of t va = node_of_loc (loc_of t va)
+let region_of t va = region_of_loc (loc_of t va)
+let mc_of t va = mc_of_loc (loc_of t va)

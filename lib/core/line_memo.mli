@@ -1,0 +1,71 @@
+(** Line-granular memo of the address map.
+
+    Both summary-construction paths ask, for every access, where the
+    line lives: its physical line, its home LLC bank (and that bank's
+    region) and its MC. All four are pure functions of the cache line
+    under a fixed [(Addr_map, Region)] pair, so this module precomputes
+    them once per layout — one flat array indexed by
+    [virtual address / l2_line] holding the physical line, and one
+    holding the (mc, region, node) triple packed into a single int —
+    and the per-access work in {!Analysis} collapses to one array load
+    plus a shift/mask.
+
+    Soundness: translation is page-granular and every location function
+    depends on the address only through its line (and page), so a
+    per-line memo is exact whenever [l2_line] divides [page_size] —
+    guaranteed by every validated config. A degenerate hand-built
+    config, a layout larger than the memo cap, and any address outside
+    the layout footprint all fall back to direct {!Machine.Addr_map}
+    calls, so answers are {e always} identical to the direct path (the
+    determinism tests check this on random addresses).
+
+    {b Thread safety}: the tables are built eagerly in {!create} and
+    never mutated afterwards, so a memo may be shared freely across
+    domains — the domain-parallel analysis reads one memo from all
+    shards. *)
+
+type t
+
+val create : Machine.Config.t -> Machine.Addr_map.t -> Ir.Layout.t -> t
+(** Precomputes the tables for every line of the layout's footprint.
+    Cost is one address-map evaluation per line — amortised over the
+    (far larger) number of trace accesses that reuse it. *)
+
+val addr_map : t -> Machine.Addr_map.t
+
+val regions : t -> Region.t
+
+val line_size : t -> int
+(** The memo granularity: the config's [l2_line]. *)
+
+val num_lines : t -> int
+(** Lines covered by the eager tables (0 when degenerate). *)
+
+val memoized : t -> bool
+(** Whether the eager tables were built (false only for degenerate
+    configs or layouts beyond the memo cap — the fallback still answers
+    identically, just without the speedup). *)
+
+val translate : t -> int -> int
+(** Virtual-to-physical translation of any address, via the memo. *)
+
+val bank_node_of : t -> int -> int
+(** Home-bank node of a {e virtual} address (the memo folds the
+    translate step in). *)
+
+val region_of : t -> int -> int
+(** Region of the home bank of a virtual address. *)
+
+val mc_of : t -> int -> int
+(** MC serving a virtual address. *)
+
+val loc_of : t -> int -> int
+(** The packed (mc, region, node) record of a virtual address — the
+    single array load the hot loops use; decode with the accessors
+    below. *)
+
+val node_of_loc : int -> int
+
+val region_of_loc : int -> int
+
+val mc_of_loc : int -> int

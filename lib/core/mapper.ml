@@ -108,7 +108,7 @@ let default_schedule ?fraction (cfg : Machine.Config.t) trace =
 
 let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
     ?(balance = true) ?alpha_override ?(on_phase = fun (_ : string) -> ())
-    ?(verify = false) (cfg : Machine.Config.t) trace =
+    ?(verify = false) ?pool (cfg : Machine.Config.t) trace =
   let prog = Ir.Trace.program trace in
   (* Debug mode: assert pipeline invariants just before each [on_phase]
      boundary. [verify = false] (the default) skips every check, so the
@@ -138,6 +138,9 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
     | None -> Mem.Page_table.create ~page_size:cfg.Machine.Config.page_size ()
   in
   let amap = Machine.Addr_map.create cfg pt in
+  (* One line memo serves every summarisation below: the CME pass and
+     up to two observed replays resolve locations for the same layout. *)
+  let memo = Line_memo.create cfg amap (Ir.Trace.layout trace) in
   let regions = Region.create cfg in
   let sets = Ir.Iter_set.partition prog ~fraction in
   vcheck "partition"
@@ -152,9 +155,11 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
   let summaries, mai_error, cai_error =
     match estimation with
     | Cme_estimate ->
-        let est = Analysis.cme_summaries cfg amap trace ~sets in
+        let est = Analysis.cme_summaries ?pool ~memo cfg amap trace ~sets in
         if measure_error then begin
-          let _, warm = Analysis.observed_summaries cfg amap trace ~sets in
+          let _, warm =
+            Analysis.observed_summaries ~memo cfg amap trace ~sets
+          in
           ( est,
             Analysis.mean_error Summary.mai est warm,
             Analysis.mean_error Summary.cai est warm )
@@ -162,8 +167,8 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         else (est, 0., 0.)
     | Inspector ->
         let cold, warm =
-          Analysis.observed_summaries ~warm_pass:measure_error cfg amap trace
-            ~sets
+          Analysis.observed_summaries ~warm_pass:measure_error ~memo cfg amap
+            trace ~sets
         in
         if measure_error then
           ( cold,
@@ -171,7 +176,7 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
             Analysis.mean_error Summary.cai cold warm )
         else (cold, 0., 0.)
     | Oracle ->
-        let _, warm = Analysis.observed_summaries cfg amap trace ~sets in
+        let _, warm = Analysis.observed_summaries ~memo cfg amap trace ~sets in
         (warm, 0., 0.)
   in
   vcheck "summarise"

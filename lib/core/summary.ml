@@ -21,6 +21,10 @@ let create ~num_mcs ~num_regions =
 
 let add_l1_hit t = t.l1_hits <- t.l1_hits + 1
 
+let add_l1_hits t n =
+  if n < 0 then invalid_arg "Summary.add_l1_hits: negative count";
+  t.l1_hits <- t.l1_hits + n
+
 let add_llc_hit t ~region =
   t.region_counts.(region) <- t.region_counts.(region) + 1;
   t.llc_hits <- t.llc_hits + 1
@@ -31,6 +35,14 @@ let add_llc_miss t ~mc ~bank_region =
     t.miss_region_counts.(bank_region) <-
       t.miss_region_counts.(bank_region) + 1;
   t.llc_misses <- t.llc_misses + 1
+
+let add_llc_misses t ~mc ~bank_region n =
+  if n < 0 then invalid_arg "Summary.add_llc_misses: negative count";
+  t.mc_counts.(mc) <- t.mc_counts.(mc) + n;
+  if bank_region >= 0 then
+    t.miss_region_counts.(bank_region) <-
+      t.miss_region_counts.(bank_region) + n;
+  t.llc_misses <- t.llc_misses + n
 
 let mai t = Affinity.of_counts t.mc_counts
 let mai_regions t = Affinity.of_counts t.miss_region_counts

@@ -25,11 +25,22 @@ val create : num_mcs:int -> num_regions:int -> t
 
 val add_l1_hit : t -> unit
 
+val add_l1_hits : t -> int -> unit
+(** Bulk variant of {!add_l1_hit}: the CME fast path counts a whole
+    reference's L1 hits per iteration set arithmetically and records
+    them with one call. Raises [Invalid_argument] on a negative
+    count. *)
+
 val add_llc_hit : t -> region:int -> unit
 
 val add_llc_miss : t -> mc:int -> bank_region:int -> unit
 (** [bank_region] is the miss's home-bank region (shared LLC); pass
     [-1] for a private LLC, where the notion does not apply. *)
+
+val add_llc_misses : t -> mc:int -> bank_region:int -> int -> unit
+(** Bulk variant of {!add_llc_miss}: the CME fast path records a whole
+    same-line block of misses with one call. Raises [Invalid_argument]
+    on a negative count. *)
 
 val mai : t -> float array
 (** Memory affinity of the set: normalised MC miss distribution

@@ -63,7 +63,8 @@ let check_direct_bounds prog (n : Loop_nest.t) (a : Access.t) e =
   if lo < 0 || hi >= decl.length then
     invalid_arg
       (Printf.sprintf
-         "Trace: reference to %s in nest %s ranges over [%d, %d] but the           array has %d elements"
+         "Trace: reference to %s in nest %s ranges over [%d, %d] but the \
+          array has %d elements"
          a.array_name n.name lo hi decl.length)
 
 let compile_access (prog : Program.t) layout vars nest (a : Access.t) =
@@ -205,6 +206,162 @@ let fill_iteration ?(step = 0) t ~nest ~iter ~buf =
       let addr = addr_of cn vals ca in
       buf.(!n) <- (addr lsl 1) lor (if is_write ca then 1 else 0);
       incr n);
+  !n
+
+(* Visit the accesses of one body reference whose per-reference
+   execution counter is [first], [first + period], ... below [hi].
+   Execution counters order a single reference's executions: one per
+   complete inner-iteration combination, [inner_trip] per parallel
+   iteration. The CME fast path uses this to touch only the accesses
+   whose miss period fires, instead of expanding the whole stream. *)
+let iter_body_periodic ?(step = 0) t ~nest ~body ~first ~hi ~period f =
+  let cn = get_nest t nest in
+  if body < 0 || body >= Array.length cn.body then
+    invalid_arg "Trace.iter_body_periodic: body reference out of range";
+  if period <= 0 then
+    invalid_arg "Trace.iter_body_periodic: non-positive period";
+  if first < 0 then invalid_arg "Trace.iter_body_periodic: negative start";
+  let ninner = Array.length cn.inner in
+  let inner_trip =
+    Array.fold_left (fun acc l -> acc * Loop_nest.trip l) 1 cn.inner
+  in
+  if hi > cn.iterations * inner_trip then
+    invalid_arg "Trace.iter_body_periodic: range beyond nest executions";
+  let ca = cn.body.(body) in
+  let vals = Array.make cn.nvars 0 in
+  vals.(0) <- step;
+  if period = 1 then begin
+    (* Dense: nested-loop walk from the enclosing iteration boundary,
+       guarded by two compares per execution — no decode divisions. *)
+    let c = ref (first / inner_trip * inner_trip) in
+    try
+      for i = first / inner_trip to cn.iterations - 1 do
+        vals.(1) <- cn.par.lo + (i * cn.par.step);
+        let rec go d =
+          if d = ninner then begin
+            let cc = !c in
+            if cc >= hi then raise Exit;
+            if cc >= first then f ~exec:cc ~addr:(addr_of cn vals ca);
+            incr c
+          end
+          else begin
+            let l = cn.inner.(d) in
+            let v = ref l.lo in
+            while !v < l.hi do
+              vals.(d + 2) <- !v;
+              go (d + 1);
+              v := !v + l.step
+            done
+          end
+        in
+        go 0
+      done
+    with Exit -> ()
+  end
+  else begin
+    (* Sparse: decode each firing execution counter into loop-variable
+       values directly (innermost inner loop varies fastest). *)
+    let trips = Array.map Loop_nest.trip cn.inner in
+    let c = ref first in
+    while !c < hi do
+      let cc = !c in
+      vals.(1) <- cn.par.lo + (cc / inner_trip * cn.par.step);
+      let rem = ref (cc mod inner_trip) in
+      for d = ninner - 1 downto 0 do
+        let l = cn.inner.(d) in
+        vals.(d + 2) <- l.lo + (!rem mod trips.(d) * l.step);
+        rem := !rem / trips.(d)
+      done;
+      f ~exec:cc ~addr:(addr_of cn vals ca);
+      c := cc + period
+    done
+  end
+
+(* Visit every execution of one body reference over parallel iterations
+   [lo, hi), grouped into blocks of consecutive parallel iterations that
+   fall on the same [line]-byte line for a fixed inner combination. The
+   visit order is NOT program order (inner combinations are walked in
+   the outer position, parallel iterations innermost) — callers must
+   only aggregate order-independent counts. Affine references advance by
+   a fixed byte stride per parallel iteration, so a block's length is
+   one boundary computation; indirect references degrade to
+   one-execution blocks. *)
+let iter_body_line_blocks ?(step = 0) t ~nest ~body ~lo ~hi ~line f =
+  let cn = get_nest t nest in
+  if body < 0 || body >= Array.length cn.body then
+    invalid_arg "Trace.iter_body_line_blocks: body reference out of range";
+  if lo < 0 || hi > cn.iterations || lo > hi then
+    invalid_arg "Trace.iter_body_line_blocks: bad range";
+  if line <= 0 then invalid_arg "Trace.iter_body_line_blocks: bad line size";
+  let ca = cn.body.(body) in
+  let ninner = Array.length cn.inner in
+  let vals = Array.make cn.nvars 0 in
+  vals.(0) <- step;
+  let at_leaf =
+    match ca with
+    | Cindirect _ ->
+        fun () ->
+          for i = lo to hi - 1 do
+            vals.(1) <- cn.par.lo + (i * cn.par.step);
+            f ~addr:(addr_of cn vals ca) ~count:1
+          done
+    | Cdirect { coeffs; _ } ->
+        let sp = coeffs.(1) * cn.par.step in
+        fun () ->
+          vals.(1) <- cn.par.lo + (lo * cn.par.step);
+          let a_lo = addr_of cn vals ca in
+          let n = hi - lo in
+          if n = 0 then ()
+          else if sp = 0 then f ~addr:a_lo ~count:n
+          else begin
+            let a = ref a_lo in
+            let remaining = ref n in
+            while !remaining > 0 do
+              let a0 = !a in
+              let room =
+                if sp > 0 then
+                  let next = ((a0 / line) + 1) * line in
+                  (next - a0 + sp - 1) / sp
+                else (a0 - (a0 / line * line)) / -sp + 1
+              in
+              let cnt = min room !remaining in
+              f ~addr:a0 ~count:cnt;
+              a := a0 + (cnt * sp);
+              remaining := !remaining - cnt
+            done
+          end
+  in
+  let rec go d =
+    if d = ninner then at_leaf ()
+    else begin
+      let l = cn.inner.(d) in
+      let v = ref l.lo in
+      while !v < l.hi do
+        vals.(d + 2) <- !v;
+        go (d + 1);
+        v := !v + l.step
+      done
+    end
+  in
+  go 0
+
+let fill_range ?(step = 0) t ~nest ~lo ~hi ~buf =
+  let cn = get_nest t nest in
+  if lo < 0 || hi > cn.iterations || lo > hi then
+    invalid_arg "Trace.fill_range: bad range";
+  if Array.length buf < (hi - lo) * cn.appi then
+    invalid_arg "Trace.fill_range: buffer too small";
+  let vals = Array.make cn.nvars 0 in
+  vals.(0) <- step;
+  let n = ref 0 in
+  for i = lo to hi - 1 do
+    vals.(1) <- cn.par.lo + (i * cn.par.step);
+    iter_inner cn vals (fun ca ->
+        let addr = addr_of cn vals ca in
+        Array.unsafe_set buf !n
+          ((addr lsl 1) lor (if is_write ca then 1 else 0));
+        incr n)
+  done;
   !n
 
 let decode_addr enc = enc lsr 1

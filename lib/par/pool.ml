@@ -1,0 +1,160 @@
+exception Crash of string
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable target : int;
+  mutable crashes : int;
+}
+
+let default_domains () =
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+(* Worker domains run [loop] until shutdown. A job whose exception
+   escapes the per-task wrapper of [try_map] is a {e crash}: the task's
+   result has already been recorded (see [try_map]), so the worker's
+   only duties are to count the crash, respawn a replacement domain (so
+   the pool keeps its configured width and queued jobs still drain),
+   and die. The crash handler takes [pool.lock] only after the job has
+   released every lock it held, so no mutex is orphaned. *)
+let rec worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if pool.stop then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      match job () with
+      | () -> loop ()
+      | exception _ ->
+          Mutex.lock pool.lock;
+          pool.crashes <- pool.crashes + 1;
+          if not pool.stop then
+            pool.workers <- Domain.spawn (worker_loop pool) :: pool.workers;
+          Mutex.unlock pool.lock
+          (* fall off the end: this domain is dead *)
+    end
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | None -> default_domains ()
+    | Some n when n < 0 ->
+        (* Construction-time caller contract, not request data: never
+           reachable from a served request, so it stays an exception
+           rather than a Fault. *)
+        invalid_arg "Pool.create: negative num_domains"
+    | Some n -> n
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      target = (if n > 1 then n else 0);
+      crashes = 0;
+    }
+  in
+  if n > 1 then
+    pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let num_domains t = t.target
+
+let crashes t =
+  Mutex.lock t.lock;
+  let c = t.crashes in
+  Mutex.unlock t.lock;
+  c
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.stop then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let try_map t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.target = 0 then begin
+    if t.stop then invalid_arg "Pool.map: pool is shut down";
+    (* Inline pool: the caller's domain cannot be allowed to die, so a
+       crash is contained here — producing the same per-task [Error] a
+       worker-backed pool records before its domain exits. *)
+    Array.map (fun x -> try Ok (f x) with e -> Error e) xs
+  end
+  else begin
+    let results = Array.make n None in
+    let batch_lock = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    let fill i r =
+      Mutex.lock batch_lock;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.signal batch_done;
+      Mutex.unlock batch_lock
+    in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            fill i r;
+            (* A simulated domain death must actually kill the worker so
+               the crash-isolation path (respawn, batch drain) is
+               exercised — but only after the slot is filled, so the
+               batch can never hang on a crashed task. *)
+            match r with
+            | Error (Crash _ as c) -> raise c
+            | _ -> ()))
+      xs;
+    Mutex.lock batch_lock;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_lock
+    done;
+    Mutex.unlock batch_lock;
+    Array.map
+      (function Some r -> r | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map t f xs =
+  let results = try_map t f xs in
+  Array.map (function Ok r -> r | Error e -> raise e) results
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  (* A crashing worker may have spawned a replacement concurrently with
+     the stop flag being raised; respawns are decided under [t.lock]
+     after checking [stop], so draining the list until it is empty
+     joins every domain ever spawned. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    if ws <> [] then begin
+      List.iter Domain.join ws;
+      drain ()
+    end
+  in
+  drain ()

@@ -7,7 +7,8 @@ type t =
   | Internal of string
 
 exception Error of t
-exception Crash of string
+
+exception Crash = Par.Pool.Crash
 
 let retryable = function Transient _ -> true | _ -> false
 

@@ -1,62 +1,14 @@
-(** A fixed-size pool of OCaml 5 domains fed by a mutex-protected work
-    queue.
+(** Re-export of {!Par.Pool}, the fixed-size domain pool.
 
-    [create ~num_domains ()] spawns [num_domains] worker domains that
-    block on the queue; {!try_map} fans an array of independent jobs
-    across them and collects per-job results in submission order, so
-    callers see a parallel [Array.map]. Jobs must be self-contained:
-    they may share immutable data and thread-safe structures (e.g.
-    {!Solution_cache}) but must not submit work back into the same pool
-    (a job waiting on its own pool can deadlock once all workers are
-    occupied).
+    The pool moved to [lib/par] so the core analysis can shard work
+    over domains without depending on the serving stack; the service
+    keeps this alias because every serving-layer module (and its
+    callers) address the pool as [Service.Pool].
 
-    {b Crash isolation}: exceptions raised by a job are caught on the
-    worker and recorded as that job's [Error] — one failing job never
-    wedges the pool or the batch. {!Fault.Crash} (simulated domain
-    death, as injected by {!Fault_injection}) goes one step further:
-    after the job's slot is recorded, the exception is re-raised past
-    the task wrapper, the worker domain counts the crash, spawns a
-    replacement domain so the pool keeps its configured width, and
-    dies. The batch always drains — the crashed task's result is
-    recorded {e before} the worker dies, the replacement keeps serving
-    the queue, and no mutex is held across the death. An inline pool
-    (no workers) contains [Fault.Crash] like any other job exception,
-    producing byte-identical results to the worker-backed path.
+    {b Thread safety}: identical to {!Par.Pool} — the pool is fully
+    thread-safe; see its interface for the crash-isolation and
+    determinism contracts. *)
 
-    A pool with [num_domains <= 1] spawns no domains at all and runs
-    jobs inline in the caller; the sequential and parallel paths execute
-    the same code in the same submission order, which is what makes the
-    determinism guarantee of {!Api.submit_batch} checkable. *)
-
-type t
-
-val default_domains : unit -> int
-(** [min 8 (Domain.recommended_domain_count () - 1)], at least 1 — a
-    sensible worker count that leaves the submitting domain a core. *)
-
-val create : ?num_domains:int -> unit -> t
-(** Defaults to {!default_domains}. Raises [Invalid_argument] on a
-    negative count (construction-time caller contract — never reachable
-    from request data, hence not a {!Fault}). *)
-
-val num_domains : t -> int
-(** Configured worker-domain count (0 for an inline pool); crash
-    respawns keep the live count at this width. *)
-
-val crashes : t -> int
-(** Worker domains that have died (and been replaced) since creation. *)
-
-val try_map : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
-(** Parallel [Array.map] with per-job fault containment, submission
-    order preserved. Safe to call repeatedly; concurrent calls from
-    different domains interleave their jobs in the shared queue. Never
-    raises for job failures — each job's exception is its own [Error]. *)
-
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** [try_map] that re-raises the first-indexed job exception after the
-    whole batch has drained. *)
-
-val shutdown : t -> unit
-(** Drains nothing: waits only for already-running jobs, then joins the
-    workers (including crash replacements). Idempotent. Calling
-    {!map}/{!try_map} after shutdown raises [Invalid_argument]. *)
+include module type of struct
+  include Par.Pool
+end

@@ -1,0 +1,418 @@
+(* Tests for the analysis fast path: line-memoized address maps,
+   the periodic/chunked trace walkers behind them, domain-parallel CME
+   summaries, and the golden Mapper.map fixture that pins the public
+   pipeline behaviour to the pre-fast-path seed. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let shared_cfg = { Machine.Config.default with llc_org = Cache.Llc.Shared }
+
+let prepare ?(scale = 0.1) name =
+  let p = Harness.Experiment.prepare_name ~scale name in
+  (p.Harness.Experiment.prog, p.Harness.Experiment.trace)
+
+let partition prog (cfg : Machine.Config.t) =
+  Ir.Iter_set.partition prog ~fraction:cfg.iter_set_fraction
+
+let summaries_equal (a : Locmap.Summary.t array) (b : Locmap.Summary.t array)
+    =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Locmap.Summary.t) (y : Locmap.Summary.t) ->
+         x.mc_counts = y.mc_counts
+         && x.region_counts = y.region_counts
+         && x.miss_region_counts = y.miss_region_counts
+         && x.llc_hits = y.llc_hits
+         && x.llc_misses = y.llc_misses
+         && x.l1_hits = y.l1_hits)
+       a b
+
+(* ------------------------------------------------------------------ *)
+(* Parallel = sequential: every registry workload, every field, at
+   1/2/4/8 domains (1 = inline pool, no domains spawned). *)
+
+let test_parallel_matches_sequential () =
+  let pools =
+    List.map
+      (fun d -> (d, Par.Pool.create ~num_domains:(if d <= 1 then 0 else d) ()))
+      [ 1; 2; 4; 8 ]
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, p) -> Par.Pool.shutdown p) pools)
+    (fun () ->
+      List.iter
+        (fun llc ->
+          let cfg = { Machine.Config.default with llc_org = llc } in
+          List.iter
+            (fun name ->
+              let prog, trace = prepare name in
+              let pt = Mem.Page_table.create ~page_size:cfg.page_size () in
+              let amap = Machine.Addr_map.create cfg pt in
+              let sets = partition prog cfg in
+              let seq = Locmap.Analysis.cme_summaries cfg amap trace ~sets in
+              List.iter
+                (fun (d, pool) ->
+                  let par =
+                    Locmap.Analysis.cme_summaries ~pool cfg amap trace ~sets
+                  in
+                  check_bool
+                    (Printf.sprintf "%s: %d domains = sequential" name d)
+                    true
+                    (summaries_equal seq par))
+                pools)
+            Workloads.Registry.names)
+        [ Cache.Llc.Shared; Cache.Llc.Private ])
+
+(* ------------------------------------------------------------------ *)
+(* The memoized map answers exactly like the direct address map, on
+   random addresses inside the layout and beyond it (the fallback
+   path). *)
+
+let test_line_memo_matches_addr_map () =
+  let rng = Random.State.make [| 0x11ce |] in
+  List.iter
+    (fun name ->
+      let _, trace = prepare name in
+      let layout = Ir.Trace.layout trace in
+      let cfg = shared_cfg in
+      let pt = Mem.Page_table.create ~page_size:cfg.page_size () in
+      let amap = Machine.Addr_map.create cfg pt in
+      let memo = Locmap.Line_memo.create cfg amap layout in
+      let regions = Locmap.Region.create cfg in
+      check_bool (name ^ ": memoized") true (Locmap.Line_memo.memoized memo);
+      let footprint = Ir.Layout.footprint layout in
+      for _ = 1 to 2000 do
+        (* 10% of probes land beyond the layout to hit the fallback. *)
+        let va =
+          if Random.State.int rng 10 = 0 then
+            footprint + Random.State.int rng 65536
+          else Random.State.int rng (max 1 footprint)
+        in
+        let pa = Machine.Addr_map.translate amap va in
+        check_int
+          (Printf.sprintf "%s: translate %d" name va)
+          pa
+          (Locmap.Line_memo.translate memo va);
+        let node = Machine.Addr_map.bank_node_of amap pa in
+        check_int
+          (Printf.sprintf "%s: bank of %d" name va)
+          node
+          (Locmap.Line_memo.bank_node_of memo va);
+        check_int
+          (Printf.sprintf "%s: region of %d" name va)
+          (Locmap.Region.of_node regions node)
+          (Locmap.Line_memo.region_of memo va);
+        check_int
+          (Printf.sprintf "%s: mc of %d" name va)
+          (Machine.Addr_map.mc_of amap pa)
+          (Locmap.Line_memo.mc_of memo va)
+      done)
+    [ "mxm"; "jacobi-3d"; "moldyn" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path summaries satisfy the semantic verifier's invariants. *)
+
+let test_fast_path_summaries_invariants () =
+  List.iter
+    (fun name ->
+      let prog, trace = prepare name in
+      let cfg = shared_cfg in
+      let pt = Mem.Page_table.create ~page_size:cfg.page_size () in
+      let amap = Machine.Addr_map.create cfg pt in
+      let sets = partition prog cfg in
+      let summaries = Locmap.Analysis.cme_summaries cfg amap trace ~sets in
+      check_int (name ^ ": no diagnostics") 0
+        (List.length
+           (Locmap.Invariant.summaries ~where:(name ^ "/cme") summaries));
+      let cold, warm =
+        Locmap.Analysis.observed_summaries cfg amap trace ~sets
+      in
+      check_int (name ^ ": cold observed clean") 0
+        (List.length (Locmap.Invariant.summaries ~where:"cold" cold));
+      check_int (name ^ ": warm observed clean") 0
+        (List.length (Locmap.Invariant.summaries ~where:"warm" warm)))
+    [ "fft"; "nbf" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cme.seek must reproduce the streamed classifier state at any
+   iteration boundary. *)
+
+let test_seek_equals_streaming () =
+  let prog, trace = prepare "mxm" in
+  let cfg = shared_cfg in
+  let layout = Ir.Trace.layout trace in
+  let appi = Ir.Trace.accesses_per_par_iter trace ~nest:0 in
+  let iterations = Ir.Trace.iterations trace ~nest:0 in
+  List.iter
+    (fun k ->
+      let k = min k (iterations - 1) in
+      let streamed = Cme.create cfg prog layout ~nest:0 in
+      for _ = 1 to k * appi do
+        ignore (Cme.classify streamed)
+      done;
+      let sought = Cme.create cfg prog layout ~nest:0 in
+      Cme.seek sought ~iteration:k;
+      for i = 1 to 2 * appi do
+        let a = Cme.classify streamed and b = Cme.classify sought in
+        check_bool
+          (Printf.sprintf "outcome %d after seek %d" i k)
+          true (a = b)
+      done)
+    [ 0; 1; 7; 100 ];
+  Alcotest.check_raises "negative seek"
+    (Invalid_argument "Cme.seek: negative iteration") (fun () ->
+      Cme.seek (Cme.create cfg prog layout ~nest:0) ~iteration:(-1))
+
+(* ------------------------------------------------------------------ *)
+(* Trace walkers: the flat buffer, the periodic per-reference walk and
+   the line-block walk must all agree with the closure-based
+   program-order enumeration. *)
+
+let collect_range trace ~nest ~lo ~hi =
+  let out = ref [] in
+  Ir.Trace.iter_range trace ~nest ~lo ~hi (fun ~addr ~write ->
+      out := (addr, write) :: !out);
+  List.rev !out
+
+let test_fill_range_matches_iter_range () =
+  let _, trace = prepare ~scale:0.05 "jacobi-3d" in
+  let appi = Ir.Trace.accesses_per_par_iter trace ~nest:0 in
+  let lo = 3 and hi = 17 in
+  let buf = Array.make ((hi - lo) * appi) 0 in
+  let n = Ir.Trace.fill_range trace ~nest:0 ~lo ~hi ~buf in
+  let expected = collect_range trace ~nest:0 ~lo ~hi in
+  check_int "count" (List.length expected) n;
+  List.iteri
+    (fun i (addr, write) ->
+      check_int (Printf.sprintf "addr %d" i) addr
+        (Ir.Trace.decode_addr buf.(i));
+      check_bool
+        (Printf.sprintf "write %d" i)
+        write
+        (Ir.Trace.decode_write buf.(i)))
+    expected
+
+(* Program-order accesses of one body reference with its execution
+   counter, derived from the full stream: accesses cycle through the
+   body references, so reference [r] owns stream positions r, r+nbody,
+   r+2*nbody, ... *)
+let body_stream trace ~nest ~body ~nbody ~hi =
+  let all = collect_range trace ~nest ~lo:0 ~hi:(Ir.Trace.iterations trace ~nest) in
+  List.filteri (fun i _ -> i mod nbody = body) all
+  |> List.filteri (fun exec _ -> exec < hi)
+  |> List.mapi (fun exec (addr, _) -> (exec, addr))
+
+let test_iter_body_periodic_matches_stream () =
+  let prog, trace = prepare ~scale:0.05 "mxm" in
+  let cfg = shared_cfg in
+  let layout = Ir.Trace.layout trace in
+  let p = Cme.create cfg prog layout ~nest:0 in
+  let nbody = Cme.num_refs p in
+  let inner_trip = Cme.inner_trip p in
+  let hi = min (8 * inner_trip) (Ir.Trace.iterations trace ~nest:0 * inner_trip) in
+  for body = 0 to nbody - 1 do
+    List.iter
+      (fun (first, period) ->
+        let got = ref [] in
+        Ir.Trace.iter_body_periodic trace ~nest:0 ~body ~first ~hi ~period
+          (fun ~exec ~addr -> got := (exec, addr) :: !got);
+        let expected =
+          body_stream trace ~nest:0 ~body ~nbody ~hi
+          |> List.filter (fun (exec, _) ->
+                 exec >= first && (exec - first) mod period = 0)
+        in
+        check_bool
+          (Printf.sprintf "body %d first %d period %d" body first period)
+          true
+          (List.rev !got = expected))
+      [ (0, 1); (0, 3); (5, 7); (inner_trip, inner_trip) ]
+  done
+
+let test_iter_body_line_blocks_counts () =
+  let prog, trace = prepare ~scale:0.05 "jacobi-3d" in
+  let cfg = shared_cfg in
+  let layout = Ir.Trace.layout trace in
+  let p = Cme.create cfg prog layout ~nest:0 in
+  let line = 64 in
+  let iters = Ir.Trace.iterations trace ~nest:0 in
+  let lo = 2 and hi = min iters 40 in
+  for body = 0 to Cme.num_refs p - 1 do
+    (* Per-line access counts from the block walk... *)
+    let blocks = Hashtbl.create 64 in
+    let total = ref 0 in
+    Ir.Trace.iter_body_line_blocks trace ~nest:0 ~body ~lo ~hi ~line
+      (fun ~addr ~count ->
+        check_bool "positive count" true (count > 0);
+        let l = addr / line in
+        Hashtbl.replace blocks l
+          (count + Option.value ~default:0 (Hashtbl.find_opt blocks l));
+        total := !total + count);
+    (* ...must equal the per-line counts of the dense program-order
+       enumeration restricted to this reference. *)
+    let expected = Hashtbl.create 64 in
+    let n = ref 0 in
+    let nbody = Cme.num_refs p in
+    List.iteri
+      (fun i (addr, _) ->
+        if i mod nbody = body then begin
+          let l = addr / line in
+          Hashtbl.replace expected l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt expected l));
+          incr n
+        end)
+      (collect_range trace ~nest:0 ~lo ~hi);
+    check_int (Printf.sprintf "body %d total" body) !n !total;
+    check_int
+      (Printf.sprintf "body %d distinct lines" body)
+      (Hashtbl.length expected) (Hashtbl.length blocks);
+    Hashtbl.iter
+      (fun l c ->
+        check_int (Printf.sprintf "body %d line %d" body l) c
+          (Option.value ~default:(-1) (Hashtbl.find_opt blocks l)))
+      expected
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Golden pin: Mapper.map's public behaviour on every registry workload
+   and both LLC organisations is byte-identical to the fixture captured
+   from the pre-fast-path seed. Keep the formatting in sync with
+   tools/gen_golden.ml, which regenerates the fixture. *)
+
+let ints a = String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let golden_of_info name llc (info : Locmap.Mapper.info) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "== %s llc=%s ==\n" name llc;
+  Printf.bprintf b "estimation=%s\n"
+    (match info.estimation with
+    | Locmap.Mapper.Cme_estimate -> "cme"
+    | Locmap.Mapper.Inspector -> "inspector"
+    | Locmap.Mapper.Oracle -> "oracle");
+  Printf.bprintf b "sets=%d\n" (Array.length info.sets);
+  Printf.bprintf b "region_of_set=%s\n" (ints info.region_of_set);
+  Printf.bprintf b "pre_balance=%s\n" (ints info.pre_balance_region);
+  for c = 0 to 1023 do
+    match Machine.Schedule.sets_of_core info.schedule ~core:c with
+    | [] -> ()
+    | ss ->
+        Printf.bprintf b "core%d=%s\n" c
+          (String.concat ";"
+             (List.map
+                (fun (s : Ir.Iter_set.t) ->
+                  Printf.sprintf "%d/%d-%d" s.nest s.lo s.hi)
+                ss))
+  done;
+  Printf.bprintf b
+    "moved=%.6f alpha=%.9f mai_err=%.9f cai_err=%.9f overhead=%d\n"
+    info.moved_fraction info.alpha_mean info.mai_error info.cai_error
+    info.overhead_cycles;
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_mapper_golden () =
+  let fixture =
+    let candidates =
+      [ "fixtures/golden_mapper.txt"; "test/fixtures/golden_mapper.txt" ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> read_file p
+    | None -> Alcotest.fail "golden_mapper.txt fixture not found"
+  in
+  let b = Buffer.create (String.length fixture) in
+  List.iter
+    (fun llc ->
+      List.iter
+        (fun name ->
+          let p = Harness.Experiment.prepare_name ~scale:0.2 name in
+          let cfg = { Machine.Config.default with llc_org = llc } in
+          let info = Locmap.Mapper.map cfg p.Harness.Experiment.trace in
+          Buffer.add_string b
+            (golden_of_info name
+               (match llc with
+               | Cache.Llc.Private -> "private"
+               | Cache.Llc.Shared -> "shared")
+               info))
+        Workloads.Registry.names)
+    [ Cache.Llc.Private; Cache.Llc.Shared ];
+  let got = Buffer.contents b in
+  if String.equal got fixture then ()
+  else begin
+    (* Report the first diverging line, not half a megabyte. *)
+    let gl = String.split_on_char '\n' got in
+    let fl = String.split_on_char '\n' fixture in
+    let rec first_diff i = function
+      | g :: gs, f :: fs ->
+          if String.equal g f then first_diff (i + 1) (gs, fs)
+          else Alcotest.failf "line %d differs:\n  got      %s\n  fixture  %s" i g f
+      | [], f :: _ -> Alcotest.failf "output short at line %d (fixture: %s)" i f
+      | g :: _, [] -> Alcotest.failf "output long at line %d (got: %s)" i g
+      | [], [] -> Alcotest.fail "contents differ but lines match?"
+    in
+    first_diff 1 (gl, fl)
+  end
+
+(* Mapper with a pool must also be byte-identical — the golden test
+   covers the no-pool call; this covers the pooled one. *)
+let test_mapper_pool_identical () =
+  let p = Harness.Experiment.prepare_name ~scale:0.1 "mxm" in
+  let cfg = shared_cfg in
+  let without = Locmap.Mapper.map cfg p.Harness.Experiment.trace in
+  let pool = Par.Pool.create ~num_domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let with_pool = Locmap.Mapper.map ~pool cfg p.Harness.Experiment.trace in
+      check_bool "schedules equal" true
+        (without.schedule.core_of = with_pool.schedule.core_of);
+      check_bool "regions equal" true
+        (without.region_of_set = with_pool.region_of_set);
+      Alcotest.(check (float 0.)) "alpha" without.alpha_mean with_pool.alpha_mean;
+      Alcotest.(check (float 0.)) "mai" without.mai_error with_pool.mai_error;
+      Alcotest.(check (float 0.)) "cai" without.cai_error with_pool.cai_error)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential (all workloads, 1/2/4/8)"
+            `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "mapper with pool identical" `Quick
+            test_mapper_pool_identical;
+        ] );
+      ( "line-memo",
+        [
+          Alcotest.test_case "memo = direct address map" `Quick
+            test_line_memo_matches_addr_map;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "fast-path summaries verify" `Quick
+            test_fast_path_summaries_invariants;
+        ] );
+      ( "cme",
+        [
+          Alcotest.test_case "seek = streaming" `Quick
+            test_seek_equals_streaming;
+        ] );
+      ( "trace-walkers",
+        [
+          Alcotest.test_case "fill_range = iter_range" `Quick
+            test_fill_range_matches_iter_range;
+          Alcotest.test_case "iter_body_periodic = stream subsequence" `Quick
+            test_iter_body_periodic_matches_stream;
+          Alcotest.test_case "iter_body_line_blocks counts" `Quick
+            test_iter_body_line_blocks_counts;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "Mapper.map pinned to seed fixture" `Quick
+            test_mapper_golden;
+        ] );
+    ]

@@ -74,6 +74,142 @@ let qcheck_cache_matches_reference =
         trace)
 
 (* ------------------------------------------------------------------ *)
+(* Focused Sa_cache properties, each against its own minimal tracking
+   model. Seeded generator so failures reproduce. *)
+
+let cache_geometry = (1024, 2, 64) (* size, assoc, line -> 8 sets *)
+
+let gen_trace =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 100 500) (pair (int_bound 8191) bool))
+
+(* Fixed seed so a failing case reproduces run-to-run. *)
+let seeded t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5aca |]) t
+
+let fresh_cache () =
+  let size, assoc, line = cache_geometry in
+  Cache.Sa_cache.create ~size ~assoc ~line_size:line ()
+
+let set_of_line line =
+  let size, assoc, lsz = cache_geometry in
+  line mod (size / lsz / assoc)
+
+(* Invalid ways are filled before any valid line is evicted: while a
+   set holds fewer than [assoc] distinct lines, misses report no
+   victim. *)
+let qcheck_invalid_ways_filled_first =
+  QCheck.Test.make ~name:"Sa_cache fills invalid ways before evicting"
+    ~count:80 gen_trace (fun trace ->
+      let c = fresh_cache () in
+      let _, assoc, line = cache_geometry in
+      let resident = Array.make 8 [] in
+      List.for_all
+        (fun (addr, write) ->
+          let l = addr / line in
+          let s = set_of_line l in
+          match Cache.Sa_cache.access c ~addr ~write with
+          | Cache.Sa_cache.Hit -> List.mem l resident.(s)
+          | Cache.Sa_cache.Miss { victim_line_addr; _ } ->
+              let ok =
+                if List.length resident.(s) < assoc then
+                  (* a free (invalid) way existed: nothing evicted *)
+                  victim_line_addr = -1
+                else victim_line_addr >= 0
+              in
+              resident.(s) <-
+                l
+                :: List.filter
+                     (fun x -> x * line <> victim_line_addr)
+                     resident.(s);
+              ok)
+        trace)
+
+(* The victim of a full-set miss is always the least recently used
+   line of that set. *)
+let qcheck_lru_victim_order =
+  QCheck.Test.make ~name:"Sa_cache evicts in LRU order within a set"
+    ~count:80 gen_trace (fun trace ->
+      let c = fresh_cache () in
+      let _, assoc, line = cache_geometry in
+      (* Most-recently-used first. *)
+      let recency = Array.make 8 [] in
+      List.for_all
+        (fun (addr, write) ->
+          let l = addr / line in
+          let s = set_of_line l in
+          let hit = List.mem l recency.(s) in
+          let full = List.length recency.(s) >= assoc in
+          let expected_victim =
+            if hit || not full then None
+            else Some (List.nth recency.(s) (assoc - 1))
+          in
+          let ok =
+            match Cache.Sa_cache.access c ~addr ~write with
+            | Cache.Sa_cache.Hit -> hit
+            | Cache.Sa_cache.Miss { victim_line_addr; _ } -> (
+                (not hit)
+                &&
+                match expected_victim with
+                | None -> victim_line_addr = -1
+                | Some v -> victim_line_addr = v * line)
+          in
+          let evicted = match expected_victim with
+            | Some v when not hit -> [ v ]
+            | _ -> []
+          in
+          recency.(s) <-
+            l
+            :: List.filter
+                 (fun x -> x <> l && not (List.mem x evicted))
+                 recency.(s);
+          ok)
+        trace)
+
+(* Writebacks count exactly the dirty victims: a line is dirty iff some
+   access wrote it since it was (re)installed. *)
+let qcheck_writebacks_dirty_victims_only =
+  QCheck.Test.make ~name:"Sa_cache writebacks = dirty victims" ~count:80
+    gen_trace (fun trace ->
+      let c = fresh_cache () in
+      let _, _, line = cache_geometry in
+      let dirty = Hashtbl.create 16 in
+      let expected = ref 0 in
+      List.iter
+        (fun (addr, write) ->
+          let l = addr / line in
+          (match Cache.Sa_cache.access c ~addr ~write with
+          | Cache.Sa_cache.Hit -> ()
+          | Cache.Sa_cache.Miss { victim_line_addr; victim_dirty } ->
+              if victim_line_addr >= 0 then begin
+                let v = victim_line_addr / line in
+                let was_dirty = Hashtbl.mem dirty v in
+                if victim_dirty <> was_dirty then
+                  QCheck.Test.fail_report "victim dirtiness disagrees";
+                if victim_dirty then incr expected;
+                Hashtbl.remove dirty v
+              end);
+          if write then Hashtbl.replace dirty l ())
+        trace;
+      Cache.Sa_cache.writebacks c = !expected)
+
+(* hits + misses always equals the number of accesses issued, and both
+   match a replay's own classification. *)
+let qcheck_counter_consistency =
+  QCheck.Test.make ~name:"Sa_cache hit/miss counters are consistent"
+    ~count:80 gen_trace (fun trace ->
+      let c = fresh_cache () in
+      let hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun (addr, write) ->
+          match Cache.Sa_cache.access c ~addr ~write with
+          | Cache.Sa_cache.Hit -> incr hits
+          | Cache.Sa_cache.Miss _ -> incr misses)
+        trace;
+      Cache.Sa_cache.hits c = !hits
+      && Cache.Sa_cache.misses c = !misses
+      && Cache.Sa_cache.accesses c = List.length trace)
+
+(* ------------------------------------------------------------------ *)
 (* Random small affine programs: trace expansion must equal direct
    evaluation of the index expressions, in program order. *)
 
@@ -176,5 +312,12 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_cache_matches_reference;
           QCheck_alcotest.to_alcotest qcheck_trace_matches_direct_eval;
           QCheck_alcotest.to_alcotest qcheck_mapper_covers_all_sets;
+        ] );
+      ( "sa-cache properties",
+        [
+          seeded qcheck_invalid_ways_filled_first;
+          seeded qcheck_lru_victim_order;
+          seeded qcheck_writebacks_dirty_victims_only;
+          seeded qcheck_counter_consistency;
         ] );
     ]

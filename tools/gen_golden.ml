@@ -1,0 +1,52 @@
+(* One-shot golden generator: formats Mapper.map info for every
+   registry workload on both LLC organisations. The exact same
+   formatting lives in test/test_analysis.ml; this tool exists only to
+   (re)generate test/fixtures/golden_mapper.txt. *)
+
+let ints a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let golden_of_info name llc (info : Locmap.Mapper.info) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "== %s llc=%s ==\n" name llc;
+  Printf.bprintf b "estimation=%s\n"
+    (match info.estimation with
+    | Locmap.Mapper.Cme_estimate -> "cme"
+    | Locmap.Mapper.Inspector -> "inspector"
+    | Locmap.Mapper.Oracle -> "oracle");
+  Printf.bprintf b "sets=%d\n" (Array.length info.sets);
+  Printf.bprintf b "region_of_set=%s\n" (ints info.region_of_set);
+  Printf.bprintf b "pre_balance=%s\n" (ints info.pre_balance_region);
+  for c = 0 to 1023 do
+    match Machine.Schedule.sets_of_core info.schedule ~core:c with
+    | [] -> ()
+    | ss ->
+        Printf.bprintf b "core%d=%s\n" c
+          (String.concat ";"
+             (List.map
+                (fun (s : Ir.Iter_set.t) ->
+                  Printf.sprintf "%d/%d-%d" s.nest s.lo s.hi)
+                ss))
+  done;
+  Printf.bprintf b "moved=%.6f alpha=%.9f mai_err=%.9f cai_err=%.9f overhead=%d\n"
+    info.moved_fraction info.alpha_mean info.mai_error info.cai_error
+    info.overhead_cycles;
+  Buffer.contents b
+
+let () =
+  let scale = 0.2 in
+  List.iter
+    (fun llc ->
+      List.iter
+        (fun name ->
+          let p = Harness.Experiment.prepare_name ~scale name in
+          let cfg = { Machine.Config.default with llc_org = llc } in
+          let info = Locmap.Mapper.map cfg p.Harness.Experiment.trace in
+          print_string
+            (golden_of_info name
+               (match llc with
+               | Cache.Llc.Private -> "private"
+               | Cache.Llc.Shared -> "shared")
+               info))
+        Workloads.Registry.names)
+    [ Cache.Llc.Private; Cache.Llc.Shared ]
