@@ -1,8 +1,9 @@
 # Convenience targets; `make check` is the tier-1 gate.
 
-.PHONY: all check test bench bench-service bench-resilience bench-verify \
-        bench-analysis bench-analysis-smoke chaos sweep lint fmt fmt-check \
-        verify clean
+.PHONY: all check test bench bench-service bench-service-smoke \
+        bench-resilience bench-resilience-smoke bench-verify \
+        bench-analysis bench-analysis-smoke bench-obs bench-obs-smoke \
+        chaos sweep lint fmt fmt-check verify clean
 
 all:
 	dune build
@@ -18,9 +19,13 @@ bench:
 	dune exec bench/main.exe
 
 # Serving-layer benchmark: pool throughput at 1/2/4/8 domains and
-# solution-cache hit rate under a Zipf-skewed request mix.
+# solution-cache hit rate under a Zipf-skewed request mix. The smoke
+# variant is the CI bit-rot gate (tiny inputs, domains 1,2).
 bench-service:
 	dune exec bench/service_bench.exe
+
+bench-service-smoke:
+	dune exec bench/service_bench.exe -- --smoke
 
 # Analysis fast-path benchmark: summary construction per registry
 # workload, seed sequential path vs the memoized fast path at 1/2/4/8
@@ -38,6 +43,20 @@ bench-analysis-smoke:
 bench-resilience:
 	dune exec bench/resilience_bench.exe
 
+bench-resilience-smoke:
+	dune exec bench/resilience_bench.exe -- --smoke
+
+# Observability cost: the serving path with no obs handles vs
+# registered-but-disabled vs enabled metrics+tracer (targets: ~0%
+# disabled, < 2% enabled), plus ns/op for the individual instrument
+# operations. Exit code reflects only response byte-equality across
+# the three variants; timings are informational.
+bench-obs:
+	dune exec bench/obs_bench.exe
+
+bench-obs-smoke:
+	dune exec bench/obs_bench.exe -- --smoke
+
 # Chaos gate: the resilience suite (fault matrix, deadlines, crash
 # isolation, 1/2/4/8-domain byte-determinism under injection) repeated
 # under three fixed seeds that parameterise the injection plans.
@@ -53,12 +72,13 @@ sweep:
 	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
 
 # Concurrency lint over the Pool-reachable sources (see Verify.Lint):
-# the serving layer, the pool itself, and the analysis fast path that
-# pool workers execute concurrently. Then a self-test: the seeded bad
+# the serving layer, the pool itself, the observability instruments it
+# updates from worker domains, and the analysis fast path that pool
+# workers execute concurrently. Then a self-test: the seeded bad
 # fixture must still be flagged.
 lint:
 	dune exec bin/locmap_lint.exe -- lib/service lib/harness lib/par \
-	  lib/core/analysis.ml lib/core/line_memo.ml lib/core/mapper.ml
+	  lib/obs lib/core/analysis.ml lib/core/line_memo.ml lib/core/mapper.ml
 	@if dune exec bin/locmap_lint.exe -- -q test/fixtures/lint \
 	    > /dev/null 2>&1; then \
 	  echo "lint self-test FAILED: seeded fixture not flagged"; exit 1; \

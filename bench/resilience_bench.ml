@@ -17,7 +17,12 @@
 
 let scale = ref 0.2
 let rounds = ref 6
-let usage = "resilience_bench.exe [--scale S] [--rounds N]"
+let usage = "resilience_bench.exe [--smoke] [--scale S] [--rounds N]"
+
+let set_smoke () =
+  (* CI bit-rot gate: one tiny pass; numbers are informational. *)
+  scale := 0.05;
+  rounds := 1
 
 let args =
   [
@@ -25,6 +30,7 @@ let args =
     ( "--rounds",
       Arg.Set_int rounds,
       "N fresh-cache passes over the request set (default 6)" );
+    ("--smoke", Arg.Unit set_smoke, " quick CI configuration (scale 0.05, 1 round)");
   ]
 
 let requests () =

@@ -16,7 +16,16 @@ let num_requests = ref 300
 let zipf_s = ref 1.1
 let domain_counts = ref [ 1; 2; 4; 8 ]
 
-let usage = "service_bench.exe [--scale S] [--requests N] [--zipf S] [--domains 1,2,4,8]"
+let usage =
+  "service_bench.exe [--smoke] [--scale S] [--requests N] [--zipf S] \
+   [--domains 1,2,4,8]"
+
+let set_smoke () =
+  (* CI bit-rot gate: tiny inputs, two domain counts — the point is
+     that the bench still runs end to end, not the numbers. *)
+  scale := 0.05;
+  num_requests := 60;
+  domain_counts := [ 1; 2 ]
 
 let args =
   [
@@ -31,6 +40,9 @@ let args =
           domain_counts :=
             String.split_on_char ',' s |> List.map int_of_string),
       "LIST domain counts for phase 1 (default 1,2,4,8)" );
+    ( "--smoke",
+      Arg.Unit set_smoke,
+      " quick CI configuration (scale 0.05, 60 requests, domains 1,2)" );
   ]
 
 (* The request universe: every registry workload on private and shared

@@ -462,6 +462,69 @@ let policy_of deadline_ms max_retries degrade =
     degrade;
   }
 
+(* Observability knobs shared by batch (and reusable elsewhere). *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect metrics for the whole run and write one JSON \
+           snapshot here ($(b,-) writes to standard output); pretty-print \
+           it later with $(b,locmap stats). $(b,FILE.prom) style names \
+           are not special — pass $(b,--metrics-format) to choose the \
+           exposition format.")
+
+let metrics_format_arg =
+  let fmt_conv =
+    Arg.conv
+      ( (function
+          | "json" -> Ok `Json
+          | "prometheus" | "prom" -> Ok `Prometheus
+          | s -> Error (`Msg (Printf.sprintf "unknown metrics format %S" s))),
+        fun ppf f ->
+          Format.pp_print_string ppf
+            (match f with `Json -> "json" | `Prometheus -> "prometheus") )
+  in
+  Arg.(
+    value
+    & opt fmt_conv `Json
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:"Metrics file format: $(b,json) (default) or $(b,prometheus).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Trace computed requests (one span per request, attempt and \
+           mapper phase) and write JSON lines here ($(b,-) writes to \
+           standard output).")
+
+let det_obs_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "deterministic-obs" ]
+        ~doc:
+          "Deterministic-ID trace mode: span ids are assigned in \
+           creation order, trace ids derive from request hashes, and \
+           the trace file carries no timestamps at all — so it is \
+           byte-identical across runs and domain counts. Metrics are \
+           unaffected (snapshots measure real time and are never \
+           byte-stable).")
+
+let write_out file contents =
+  if file = "-" then (
+    print_string contents;
+    flush stdout)
+  else
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc
+
 let batch_cmd =
   let file_arg =
     Arg.(
@@ -487,7 +550,7 @@ let batch_cmd =
              answering it with a per-line error response.")
   in
   let run file output domains cache_size deadline_ms max_retries degrade
-      strict =
+      strict metrics_out metrics_format trace_out det_obs =
     let ic =
       if file = "-" then stdin
       else
@@ -531,9 +594,24 @@ let batch_cmd =
         (function _, Ok r -> Some r | _, Error _ -> None)
         parsed
     in
+    let metrics =
+      match metrics_out with
+      | None -> None
+      | Some _ -> Some (Obs.Metrics.create ())
+    in
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+          Some
+            (Obs.Trace.create
+               ?deterministic:(if det_obs then Some 0 else None)
+               ())
+    in
     let api =
       Service.Api.create ~cache_capacity:cache_size ~num_domains:domains
-        ~resilience:(policy_of deadline_ms max_retries degrade) ()
+        ~resilience:(policy_of deadline_ms max_retries degrade) ?metrics
+        ?tracer ()
     in
     let responses = Service.Api.submit_batch api (Array.of_list valid) in
     let oc = match output with None -> stdout | Some f -> open_out f in
@@ -552,6 +630,17 @@ let batch_cmd =
         output_char oc '\n')
       parsed;
     if output <> None then close_out oc else flush stdout;
+    (match (metrics_out, metrics) with
+    | Some file, Some m ->
+        let samples = Obs.Metrics.snapshot m in
+        write_out file
+          (match metrics_format with
+          | `Json -> Obs.Metrics.to_json samples ^ "\n"
+          | `Prometheus -> Obs.Metrics.to_prometheus samples)
+    | _ -> ());
+    (match (trace_out, tracer) with
+    | Some file, Some tr -> write_out file (Obs.Trace.to_jsonl tr)
+    | _ -> ());
     Format.eprintf "%a@." Service.Api.pp_stats (Service.Api.stats api);
     Service.Api.shutdown api
   in
@@ -562,7 +651,124 @@ let batch_cmd =
           \"Serving mode\").")
     Term.(
       const run $ file_arg $ output_arg $ domains_arg $ cache_size_arg
-      $ deadline_arg $ max_retries_arg $ degrade_arg $ strict_arg)
+      $ deadline_arg $ max_retries_arg $ degrade_arg $ strict_arg
+      $ metrics_out_arg $ metrics_format_arg $ trace_out_arg $ det_obs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats: pretty-print a metrics snapshot written by
+   `locmap batch --metrics`. The parse goes through Service.Json — the
+   same decoder the wire format uses — which doubles as a check that
+   Obs.Metrics.to_json emits Service.Json-compatible bytes (the obs
+   layer sits below the service and carries its own emitter). *)
+
+let samples_of_metrics_json root =
+  let ( let* ) = Result.bind in
+  let field ?default conv name o =
+    match (Service.Json.member name o, default) with
+    | Some v, _ -> conv v
+    | None, Some d -> Ok d
+    | None, None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let rec map_all f = function
+    | [] -> Ok []
+    | x :: tl ->
+        let* y = f x in
+        let* ys = map_all f tl in
+        Ok (y :: ys)
+  in
+  let labels_of o =
+    match Service.Json.member "labels" o with
+    | None -> Ok []
+    | Some l ->
+        let* fields = Service.Json.obj_fields l in
+        map_all
+          (fun (k, v) ->
+            let* s = Service.Json.to_str v in
+            Ok (k, s))
+          fields
+  in
+  let bucket_of b =
+    let* count = field Service.Json.to_int "count" b in
+    match Service.Json.member "le" b with
+    | None -> Error "missing field \"le\""
+    | Some (Service.Json.String "+Inf") -> Ok (None, count)
+    | Some le ->
+        let* u = Service.Json.to_float le in
+        Ok (Some u, count)
+  in
+  let sample_of j =
+    let* name = field Service.Json.to_str "name" j in
+    let* ty = field Service.Json.to_str "type" j in
+    let* help = field ~default:"" Service.Json.to_str "help" j in
+    let* labels = labels_of j in
+    let* value =
+      match ty with
+      | "counter" ->
+          let* v = field Service.Json.to_int "value" j in
+          Ok (Obs.Metrics.Counter v)
+      | "gauge" ->
+          let* v = field Service.Json.to_int "value" j in
+          Ok (Obs.Metrics.Gauge v)
+      | "histogram" ->
+          let* count = field Service.Json.to_int "count" j in
+          let* sum = field Service.Json.to_float "sum" j in
+          let* buckets = field Service.Json.to_list "buckets" j in
+          let* pairs = map_all bucket_of buckets in
+          let upper =
+            Array.of_list (List.filter_map (fun (u, _) -> u) pairs)
+          in
+          let counts = Array.of_list (List.map snd pairs) in
+          Ok (Obs.Metrics.Histogram { upper; counts; sum; count })
+      | t -> Error (Printf.sprintf "unknown metric type %S" t)
+    in
+    Ok { Obs.Metrics.name; help; labels; value }
+  in
+  let* metrics = field Service.Json.to_list "metrics" root in
+  map_all sample_of metrics
+
+let stats_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Metrics JSON file written by $(b,locmap batch --metrics); \
+             $(b,-) reads standard input.")
+  in
+  let prometheus_arg =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Re-emit the snapshot in Prometheus text exposition format \
+             instead of the human-readable table.")
+  in
+  let run file prometheus =
+    let contents =
+      if file = "-" then In_channel.input_all stdin
+      else
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error e ->
+          prerr_endline e;
+          exit 2
+    in
+    match
+      Result.bind (Service.Json.of_string contents) samples_of_metrics_json
+    with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" (if file = "-" then "stdin" else file) e;
+        exit 2
+    | Ok samples ->
+        if prometheus then print_string (Obs.Metrics.to_prometheus samples)
+        else Format.printf "%a@." Obs.Metrics.pp_text samples
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print a metrics snapshot written by $(b,locmap batch \
+          --metrics).")
+    Term.(const run $ file_arg $ prometheus_arg)
 
 let sweep_cmd =
   let workloads_arg =
@@ -628,34 +834,46 @@ let sweep_cmd =
                 exit 2)
         (split alphas)
     in
-    let requests =
+    let requests_of name =
       List.concat_map
-        (fun name ->
-          List.concat_map
-            (fun (rows, cols) ->
-              List.map
-                (fun alpha ->
-                  let machine =
-                    { (cfg_of llc) with Machine.Config.rows; cols }
-                  in
-                  let options =
-                    { Service.Request.default_options with
-                      alpha_override = alpha
-                    }
-                  in
-                  Service.Request.make ~scale ~machine ~options name)
-                alphas)
-            meshes)
-        names
+        (fun (rows, cols) ->
+          List.map
+            (fun alpha ->
+              let machine = { (cfg_of llc) with Machine.Config.rows; cols } in
+              let options =
+                { Service.Request.default_options with alpha_override = alpha }
+              in
+              Service.Request.make ~scale ~machine ~options name)
+            alphas)
+        meshes
       |> Array.of_list
     in
     let api =
       Service.Api.create ~cache_capacity:cache_size ~num_domains:domains
         ~resilience:(policy_of deadline_ms max_retries degrade) ()
     in
+    (* One batch per workload, individually timed: the sweep reports
+       where the wall time went, not just the total. The cache is
+       shared across batches, so cross-workload behaviour (there is
+       none: requests differ by workload) and per-workload dedup match
+       the single-batch submission. *)
     let t0 = Unix.gettimeofday () in
-    let responses = Service.Api.submit_batch api requests in
+    let per_workload =
+      List.map
+        (fun name ->
+          let reqs = requests_of name in
+          let w0 = Unix.gettimeofday () in
+          let rs = Service.Api.submit_batch api reqs in
+          (name, Unix.gettimeofday () -. w0, reqs, rs))
+        names
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
+    let requests =
+      Array.concat (List.map (fun (_, _, reqs, _) -> reqs) per_workload)
+    in
+    let responses =
+      Array.concat (List.map (fun (_, _, _, rs) -> rs) per_workload)
+    in
     Printf.printf "%-11s %-7s %-8s %7s %8s %8s %10s\n" "workload" "mesh"
       "alpha" "sets" "moved%" "alpha~" "overhead";
     Array.iteri
@@ -682,7 +900,13 @@ let sweep_cmd =
               req.Service.Request.workload mesh alpha
               (Service.Fault.to_string f))
       responses;
-    Printf.printf "\n%d requests in %.2fs (%.1f req/s, %d domains)\n"
+    Printf.printf "\nwall time per workload:\n";
+    List.iter
+      (fun (name, w, reqs, _) ->
+        Printf.printf "  %-11s %6.2fs  (%d requests)\n" name w
+          (Array.length reqs))
+      per_workload;
+    Printf.printf "\n%d requests in %.2fs total (%.1f req/s, %d domains)\n"
       (Array.length requests) elapsed
       (float_of_int (Array.length requests) /. elapsed)
       domains;
@@ -709,4 +933,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "locmap" ~version:"1.0.0" ~doc)
           [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd;
-            experiments_cmd; check_cmd; batch_cmd; sweep_cmd ]))
+            experiments_cmd; check_cmd; batch_cmd; sweep_cmd; stats_cmd ]))

@@ -43,7 +43,58 @@ let fresh_buffer trace sets = Array.make (max chunk_accesses (max_appi trace set
 (* Multiples of [p] in [lo, hi), for 0 <= lo <= hi. *)
 let multiples_in p ~lo ~hi = ((hi + p - 1) / p) - ((lo + p - 1) / p)
 
-let cme_set ~shared memo trace p (s : Ir.Iter_set.t) sm =
+(* Fast-path accounting, accumulated as plain ints per shard range and
+   flushed to sharded counters once per range — the hot loops never
+   touch an atomic. Location lookups through the memo are
+   [visited + line_blocks]; with [Line_memo]'s fallback counter this
+   yields the memo hit rate. *)
+type cme_stats = {
+  (* One record per shard range, never shared across domains; flushed
+     into the registry's sharded counters at range end. *)
+  mutable st_accesses : int;  (* lint:ignore — closed-form executions *)
+  mutable st_bulk_l1_hits : int;  (* L1 hits counted without visiting *)
+  mutable st_visited : int;  (* executions visited individually *)
+  mutable st_line_blocks : int;  (* bulk line-block summary updates *)
+}
+
+type cme_instruments = {
+  ci_im : Obs.Metrics.t;
+  ci_accesses : Obs.Metrics.counter;
+  ci_bulk_l1_hits : Obs.Metrics.counter;
+  ci_visited : Obs.Metrics.counter;
+  ci_line_blocks : Obs.Metrics.counter;
+}
+
+let cme_instruments im =
+  {
+    ci_im = im;
+    ci_accesses =
+      Obs.Metrics.counter im
+        ~help:"accesses classified by the CME closed form"
+        "locmap_cme_accesses_total";
+    ci_bulk_l1_hits =
+      Obs.Metrics.counter im
+        ~help:"L1 hits bulk-counted without visiting the access"
+        "locmap_cme_bulk_l1_hits_total";
+    ci_visited =
+      Obs.Metrics.counter im
+        ~help:"accesses visited individually for location lookup"
+        "locmap_cme_visited_total";
+    ci_line_blocks =
+      Obs.Metrics.counter im
+        ~help:"bulk line-block summary updates (one memo lookup each)"
+        "locmap_cme_line_block_updates_total";
+  }
+
+let flush_stats ci st =
+  if Obs.Metrics.is_enabled ci.ci_im then begin
+    Obs.Metrics.add ci.ci_accesses st.st_accesses;
+    Obs.Metrics.add ci.ci_bulk_l1_hits st.st_bulk_l1_hits;
+    Obs.Metrics.add ci.ci_visited st.st_visited;
+    Obs.Metrics.add ci.ci_line_blocks st.st_line_blocks
+  end
+
+let cme_set ~shared ~stats memo trace p (s : Ir.Iter_set.t) sm =
   let inner_trip = Cme.inner_trip p in
   let c0 = s.lo * inner_trip and c1 = s.hi * inner_trip in
   let total = c1 - c0 in
@@ -73,12 +124,15 @@ let cme_set ~shared memo trace p (s : Ir.Iter_set.t) sm =
             ~mc:(Line_memo.mc_of memo addr) count )
   in
   for r = 0 to Cme.num_refs p - 1 do
+    stats.st_accesses <- stats.st_accesses + total;
     let p1 = Cme.l1_period p r in
     if p1 = max_int then begin
       (* Cold-only at L1: the single miss is execution 0, and with no
          prior L1 misses the classifier always sends it to memory. *)
       let nmiss = if c0 = 0 && c1 > 0 then 1 else 0 in
       Summary.add_l1_hits sm (total - nmiss);
+      stats.st_bulk_l1_hits <- stats.st_bulk_l1_hits + (total - nmiss);
+      stats.st_visited <- stats.st_visited + nmiss;
       if nmiss = 1 then
         Ir.Trace.iter_body_periodic trace ~nest:s.nest ~body:r ~first:0 ~hi:1
           ~period:1 (fun ~exec:_ ~addr -> add_miss addr)
@@ -94,10 +148,14 @@ let cme_set ~shared memo trace p (s : Ir.Iter_set.t) sm =
       Ir.Trace.iter_body_line_blocks trace ~nest:s.nest ~body:r ~lo:s.lo
         ~hi:s.hi
         ~line:(Line_memo.line_size memo)
-        (fun ~addr ~count -> add_misses addr count)
+        (fun ~addr ~count ->
+          stats.st_line_blocks <- stats.st_line_blocks + 1;
+          add_misses addr count)
     else begin
       let nmiss = multiples_in p1 ~lo:c0 ~hi:c1 in
       Summary.add_l1_hits sm (total - nmiss);
+      stats.st_bulk_l1_hits <- stats.st_bulk_l1_hits + (total - nmiss);
+      stats.st_visited <- stats.st_visited + nmiss;
       if nmiss > 0 then begin
         let first = (c0 + p1 - 1) / p1 * p1 in
         let p2 = Cme.llc_period p r in
@@ -154,20 +212,26 @@ let shard_ranges trace sets ~nshards =
   if !start < n then ranges := (!start, n) :: !ranges;
   Array.of_list (List.rev !ranges)
 
-let cme_summaries ?pool ?memo (cfg : Machine.Config.t) amap trace ~sets =
+let cme_summaries ?pool ?memo ?metrics (cfg : Machine.Config.t) amap trace
+    ~sets =
   let prog = Ir.Trace.program trace in
   let layout = Ir.Trace.layout trace in
   let memo =
     match memo with
     | Some m -> m
-    | None -> Line_memo.create cfg amap layout
+    | None -> Line_memo.create ?metrics cfg amap layout
   in
   let shared = is_shared cfg in
+  let ci = Option.map cme_instruments metrics in
   (* Summaries for the contiguous set range [a, b): the unit of work a
-     shard executes. Each range carries its own predictors, so ranges
-     share nothing but the immutable memo/trace. *)
+     shard executes. Each range carries its own predictors — and its own
+     plain-int stats, flushed to the shared counters once at the end —
+     so ranges share nothing but the immutable memo/trace. *)
   let run_range (a, b) =
     let out = fresh_summaries cfg amap ~count:(b - a) in
+    let stats =
+      { st_accesses = 0; st_bulk_l1_hits = 0; st_visited = 0; st_line_blocks = 0 }
+    in
     let predictor = ref None in
     let current_nest = ref (-1) in
     for k = a to b - 1 do
@@ -176,8 +240,9 @@ let cme_summaries ?pool ?memo (cfg : Machine.Config.t) amap trace ~sets =
         current_nest := s.nest;
         predictor := Some (Cme.create cfg prog layout ~nest:s.nest)
       end;
-      cme_set ~shared memo trace (Option.get !predictor) s out.(k - a)
+      cme_set ~shared ~stats memo trace (Option.get !predictor) s out.(k - a)
     done;
+    (match ci with Some ci -> flush_stats ci stats | None -> ());
     out
   in
   let nsets = Array.length sets in

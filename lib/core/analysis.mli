@@ -47,6 +47,7 @@
 val cme_summaries :
   ?pool:Par.Pool.t ->
   ?memo:Line_memo.t ->
+  ?metrics:Obs.Metrics.t ->
   Machine.Config.t ->
   Machine.Addr_map.t ->
   Ir.Trace.t ->
@@ -55,7 +56,20 @@ val cme_summaries :
 (** [memo], when given, must have been built from the same config,
     address map and layout (as {!Mapper.map} does); the default builds
     a fresh one. [pool], when given with more than one domain, shards
-    sets across its workers. *)
+    sets across its workers.
+
+    [metrics] feeds four fast-path counters —
+    [locmap_cme_accesses_total] (executions folded by the closed form),
+    [locmap_cme_bulk_l1_hits_total] (L1 hits counted without visiting),
+    [locmap_cme_visited_total] (executions visited individually) and
+    [locmap_cme_line_block_updates_total] (bulk line-block updates) —
+    accumulated as plain ints per shard range and flushed once per
+    range, so the hot loops never touch an atomic and the results stay
+    byte-identical with instrumentation on. Memo location lookups are
+    [visited + line_blocks]; combined with
+    [locmap_line_memo_fallback_lookups_total] (registered on the memo
+    it builds, or by the caller on a passed-in memo) this gives the
+    memo hit rate [1 - fallbacks / lookups]. *)
 
 val observed_summaries :
   ?warm_pass:bool ->

@@ -27,13 +27,25 @@ type t = {
          instead of dividing. *)
   phys : int array;  (* line -> physical line *)
   loc : int array;  (* line -> pack ~mc ~region ~node *)
+  fallbacks : Obs.Metrics.counter option;
+      (* Counted only on the slow (non-memoized) branch, so the memo
+         hit path stays a pure array load. *)
 }
 
 let log2_of line_size =
   let rec go s = if 1 lsl s >= line_size then s else go (s + 1) in
   go 0
 
-let create (cfg : Machine.Config.t) amap layout =
+let create ?metrics (cfg : Machine.Config.t) amap layout =
+  let fallbacks =
+    match metrics with
+    | None -> None
+    | Some im ->
+        Some
+          (Obs.Metrics.counter im
+             ~help:"location lookups that bypassed the line memo"
+             "locmap_line_memo_fallback_lookups_total")
+  in
   let line_size = cfg.l2_line in
   let regions = Region.create cfg in
   let footprint = Ir.Layout.footprint layout in
@@ -56,6 +68,7 @@ let create (cfg : Machine.Config.t) amap layout =
       exact;
       phys = [||];
       loc = [||];
+      fallbacks;
     }
   else begin
     let phys = Array.make num_lines 0 in
@@ -80,6 +93,7 @@ let create (cfg : Machine.Config.t) amap layout =
       exact;
       phys;
       loc;
+      fallbacks;
     }
   end
 
@@ -93,6 +107,7 @@ let loc_of t va =
   let l = va lsr t.line_shift in
   if va >= 0 && l < t.num_lines then Array.unsafe_get t.loc l
   else begin
+    (match t.fallbacks with Some c -> Obs.Metrics.incr c | None -> ());
     let pa = Machine.Addr_map.translate t.amap va in
     let node = Machine.Addr_map.bank_node_of t.amap pa in
     pack
@@ -105,7 +120,10 @@ let translate t va =
   let l = va lsr t.line_shift in
   if va >= 0 && l < t.num_lines then
     (Array.unsafe_get t.phys l lsl t.line_shift) + (va land t.line_mask)
-  else Machine.Addr_map.translate t.amap va
+  else begin
+    (match t.fallbacks with Some c -> Obs.Metrics.incr c | None -> ());
+    Machine.Addr_map.translate t.amap va
+  end
 
 let bank_node_of t va = node_of_loc (loc_of t va)
 let region_of t va = region_of_loc (loc_of t va)

@@ -22,14 +22,25 @@
     {b Thread safety}: the tables are built eagerly in {!create} and
     never mutated afterwards, so a memo may be shared freely across
     domains — the domain-parallel analysis reads one memo from all
-    shards. *)
+    shards. The optional fallback counter is a domain-safe sharded
+    {!Obs.Metrics.counter}. *)
 
 type t
 
-val create : Machine.Config.t -> Machine.Addr_map.t -> Ir.Layout.t -> t
+val create :
+  ?metrics:Obs.Metrics.t ->
+  Machine.Config.t ->
+  Machine.Addr_map.t ->
+  Ir.Layout.t ->
+  t
 (** Precomputes the tables for every line of the layout's footprint.
     Cost is one address-map evaluation per line — amortised over the
-    (far larger) number of trace accesses that reuse it. *)
+    (far larger) number of trace accesses that reuse it. [metrics]
+    registers [locmap_line_memo_fallback_lookups_total], counting
+    lookups that bypassed the memo (degenerate config, oversized
+    layout, or out-of-footprint address); the memo-hit path is never
+    instrumented, so it stays a pure array load. Together with
+    [locmap_cme_accesses_total] this yields the memo hit rate. *)
 
 val addr_map : t -> Machine.Addr_map.t
 

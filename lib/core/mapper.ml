@@ -108,7 +108,7 @@ let default_schedule ?fraction (cfg : Machine.Config.t) trace =
 
 let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
     ?(balance = true) ?alpha_override ?(on_phase = fun (_ : string) -> ())
-    ?(verify = false) ?pool (cfg : Machine.Config.t) trace =
+    ?(verify = false) ?pool ?metrics (cfg : Machine.Config.t) trace =
   let prog = Ir.Trace.program trace in
   (* Debug mode: assert pipeline invariants just before each [on_phase]
      boundary. [verify = false] (the default) skips every check, so the
@@ -140,7 +140,7 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
   let amap = Machine.Addr_map.create cfg pt in
   (* One line memo serves every summarisation below: the CME pass and
      up to two observed replays resolve locations for the same layout. *)
-  let memo = Line_memo.create cfg amap (Ir.Trace.layout trace) in
+  let memo = Line_memo.create ?metrics cfg amap (Ir.Trace.layout trace) in
   let regions = Region.create cfg in
   let sets = Ir.Iter_set.partition prog ~fraction in
   vcheck "partition"
@@ -155,7 +155,9 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
   let summaries, mai_error, cai_error =
     match estimation with
     | Cme_estimate ->
-        let est = Analysis.cme_summaries ?pool ~memo cfg amap trace ~sets in
+        let est =
+          Analysis.cme_summaries ?pool ~memo ?metrics cfg amap trace ~sets
+        in
         if measure_error then begin
           let _, warm =
             Analysis.observed_summaries ~memo cfg amap trace ~sets

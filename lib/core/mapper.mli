@@ -57,6 +57,7 @@ val map :
   ?on_phase:(string -> unit) ->
   ?verify:bool ->
   ?pool:Par.Pool.t ->
+  ?metrics:Obs.Metrics.t ->
   Machine.Config.t ->
   Ir.Trace.t ->
   info
@@ -94,7 +95,17 @@ val map :
     worker is executing this very call (the serving layer's batch pool):
     a job fanning out into its own pool deadlocks once all workers are
     occupied — give the analysis a dedicated pool, as the analysis
-    bench does. *)
+    bench does.
+
+    [metrics] instruments the summarisation fast path: it is passed to
+    the {!Line_memo} built here (fallback-lookup counter) and to
+    {!Analysis.cme_summaries} (closed-form accounting — see its
+    documentation for the [locmap_cme_*] counters). Metrics never
+    change results: counts are accumulated outside the hot loops and
+    the pipeline's outputs are byte-identical with instrumentation on,
+    off, or absent. Phase {e timing} is not collected here — the
+    serving layer wraps [on_phase] with {!Obs.Trace.phase_hook} and a
+    phase-duration histogram instead. *)
 
 val default_schedule :
   ?fraction:float -> Machine.Config.t -> Ir.Trace.t -> Machine.Schedule.t

@@ -1,0 +1,18 @@
+(** Monotonic time for the observability layer.
+
+    One wrapper over the vendored monotonic clock so that every obs
+    consumer — span timing in {!Trace}, busy-time accounting in
+    [Par.Pool], the histogram timer in {!Metrics} — reads the same
+    clock, and so that the lower layers ([lib/par], [lib/core]) do not
+    each grow their own clock dependency.
+
+    {b Thread safety}: stateless; both functions are safe to call from
+    any domain without synchronisation. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary epoch. Never goes
+    backwards; differences are wall-time durations. *)
+
+val ns_to_ms : int64 -> float
+(** Nanoseconds as fractional milliseconds (the unit every obs
+    histogram uses). *)

@@ -1,0 +1,432 @@
+(* Sharded instruments: counters and histograms keep one cell (or one
+   bucket table) per domain-id slot, so concurrent updates from
+   different domains land on different cache lines and different
+   mutexes. The shard index is the domain id masked to the shard
+   count — collisions are possible (two domains may share a slot) and
+   harmless, because every cell is itself safe (atomic, or behind the
+   shard mutex); sharding is a contention optimisation, not a
+   correctness mechanism. *)
+
+type hist_shard = {
+  hlock : Mutex.t;
+  bucket_counts : int array;  (* per-bucket, last = overflow *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type kind =
+  | Kcounter of int Atomic.t array  (* shard cells *)
+  | Kgauge of int Atomic.t
+  | Khistogram of { upper : float array; hshards : hist_shard array }
+
+type metric = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+  on : bool Atomic.t;  (* the registry's switch, shared *)
+  mask : int;
+}
+
+type t = {
+  lock : Mutex.t;  (* registration only *)
+  tbl : (string, metric) Hashtbl.t;  (* keyed by name + canonical labels *)
+  mutable order : metric list;  (* reverse registration order *)
+  enabled : bool Atomic.t;
+  shards : int;
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let rec pow2_ceil n k = if k >= n then k else pow2_ceil n (2 * k)
+
+let create ?(shards = 8) ?(enabled = true) () =
+  if shards < 1 then invalid_arg "Metrics.create: shards < 1";
+  let shards = min 256 (pow2_ceil shards 1) in
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    order = [];
+    enabled = Atomic.make enabled;
+    shards;
+  }
+
+let is_enabled t = Atomic.get t.enabled
+let set_enabled t b = Atomic.set t.enabled b
+let num_shards t = t.shards
+
+let key name labels =
+  let b = Buffer.create 32 in
+  Buffer.add_string b name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b k;
+      Buffer.add_char b '\x01';
+      Buffer.add_string b v)
+    labels;
+  Buffer.contents b
+
+let same_kind a b =
+  match (a, b) with
+  | Kcounter _, Kcounter _ | Kgauge _, Kgauge _ -> true
+  | Khistogram h1, Khistogram h2 -> h1.upper = h2.upper
+  | _ -> false
+
+(* Register-or-find under the registry lock; the instrument itself is
+   built outside any hot path. *)
+let register t ~name ~help ~labels mk =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label key %S" k))
+    labels;
+  let k = key name labels in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some m ->
+          let fresh = mk () in
+          if not (same_kind m.kind fresh) then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: %S already registered with a different kind" name);
+          m
+      | None ->
+          let m =
+            { name; help; labels; kind = mk (); on = t.enabled;
+              mask = t.shards - 1 }
+          in
+          Hashtbl.replace t.tbl k m;
+          t.order <- m :: t.order;
+          m)
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels (fun () ->
+      Kcounter (Array.init t.shards (fun _ -> Atomic.make 0)))
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels (fun () -> Kgauge (Atomic.make 0))
+
+let default_buckets =
+  [|
+    0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+    1000.; 2500.; 5000.;
+  |]
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Metrics.histogram: non-finite bucket bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets not strictly increasing")
+    buckets;
+  let upper = Array.copy buckets in
+  register t ~name ~help ~labels (fun () ->
+      Khistogram
+        {
+          upper;
+          hshards =
+            Array.init t.shards (fun _ ->
+                {
+                  hlock = Mutex.create ();
+                  bucket_counts = Array.make (Array.length upper + 1) 0;
+                  hsum = 0.;
+                  hcount = 0;
+                });
+        })
+
+let shard_ix (m : metric) = (Domain.self () :> int) land m.mask
+
+let incr (m : counter) =
+  if Atomic.get m.on then
+    match m.kind with
+    | Kcounter cells -> Atomic.incr cells.(shard_ix m)
+    | _ -> assert false
+
+let add (m : counter) n =
+  if n < 0 then invalid_arg "Metrics.add: negative amount";
+  if n > 0 && Atomic.get m.on then
+    match m.kind with
+    | Kcounter cells -> ignore (Atomic.fetch_and_add cells.(shard_ix m) n)
+    | _ -> assert false
+
+let counter_value (m : counter) =
+  match m.kind with
+  | Kcounter cells -> Array.fold_left (fun a c -> a + Atomic.get c) 0 cells
+  | _ -> assert false
+
+let set_gauge (m : gauge) v =
+  if Atomic.get m.on then
+    match m.kind with Kgauge c -> Atomic.set c v | _ -> assert false
+
+let add_gauge (m : gauge) n =
+  if n <> 0 && Atomic.get m.on then
+    match m.kind with
+    | Kgauge c -> ignore (Atomic.fetch_and_add c n)
+    | _ -> assert false
+
+let gauge_value (m : gauge) =
+  match m.kind with Kgauge c -> Atomic.get c | _ -> assert false
+
+(* First bucket with [v <= upper], else the overflow slot. Bucket
+   arrays are small (the default is 16), so a linear scan beats the
+   branch mispredictions of binary search. *)
+let bucket_of upper v =
+  let n = Array.length upper in
+  let i = ref 0 in
+  while !i < n && v > Array.unsafe_get upper !i do
+    i := !i + 1
+  done;
+  !i
+
+let observe (m : histogram) v =
+  if Atomic.get m.on then
+    match m.kind with
+    | Khistogram { upper; hshards } ->
+        let s = hshards.(shard_ix m) in
+        let b = bucket_of upper v in
+        Mutex.lock s.hlock;
+        s.bucket_counts.(b) <- s.bucket_counts.(b) + 1;
+        s.hsum <- s.hsum +. v;
+        s.hcount <- s.hcount + 1;
+        Mutex.unlock s.hlock
+    | _ -> assert false
+
+let time (m : histogram) f =
+  if not (Atomic.get m.on) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let r = f () in
+    observe m (Clock.ns_to_ms (Int64.sub (Clock.now_ns ()) t0));
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+type hist_view = {
+  upper : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type value = Counter of int | Gauge of int | Histogram of hist_view
+
+type sample = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+let read_metric (m : metric) =
+  let value =
+    match m.kind with
+    | Kcounter _ -> Counter (counter_value m)
+    | Kgauge c -> Gauge (Atomic.get c)
+    | Khistogram { upper; hshards } ->
+        let n = Array.length upper + 1 in
+        let merged = Array.make n 0 in
+        let sum = ref 0. in
+        let count = ref 0 in
+        Array.iter
+          (fun s ->
+            Mutex.lock s.hlock;
+            for i = 0 to n - 1 do
+              merged.(i) <- merged.(i) + s.bucket_counts.(i)
+            done;
+            sum := !sum +. s.hsum;
+            count := !count + s.hcount;
+            Mutex.unlock s.hlock)
+          hshards;
+        (* Cumulate in place: Prometheus [le] buckets are running
+           totals, and the estimators below want them that way too. *)
+        for i = 1 to n - 1 do
+          merged.(i) <- merged.(i) + merged.(i - 1)
+        done;
+        Histogram
+          { upper = Array.copy upper; counts = merged; sum = !sum;
+            count = !count }
+  in
+  { name = m.name; help = m.help; labels = m.labels; value }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let metrics = List.rev t.order in
+  Mutex.unlock t.lock;
+  List.map read_metric metrics
+
+(* ------------------------------------------------------------------ *)
+(* Exposition                                                          *)
+
+let labels_json labels =
+  let b = Buffer.create 32 in
+  Emit.obj b (List.map (fun (k, v) -> Emit.field_str k v) labels);
+  Buffer.contents b
+
+let sample_json buf (s : sample) =
+  let base ty = [ Emit.field_str "name" s.name; ("type", "\"" ^ ty ^ "\"") ] in
+  let help = if s.help = "" then [] else [ Emit.field_str "help" s.help ] in
+  let labels =
+    if s.labels = [] then [] else [ ("labels", labels_json s.labels) ]
+  in
+  match s.value with
+  | Counter v -> Emit.obj buf (base "counter" @ help @ labels @ [ Emit.field_int "value" v ])
+  | Gauge v -> Emit.obj buf (base "gauge" @ help @ labels @ [ Emit.field_int "value" v ])
+  | Histogram h ->
+      let buckets =
+        let bb = Buffer.create 64 in
+        Buffer.add_char bb '[';
+        Array.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_char bb ',';
+            let le =
+              if i < Array.length h.upper then
+                ("le", Emit.float_repr h.upper.(i))
+              else Emit.field_str "le" "+Inf"
+            in
+            Emit.obj bb [ le; Emit.field_int "count" c ])
+          h.counts;
+        Buffer.add_char bb ']';
+        Buffer.contents bb
+      in
+      Emit.obj buf
+        (base "histogram" @ help @ labels
+        @ [
+            Emit.field_int "count" h.count;
+            Emit.field_float "sum" h.sum;
+            ("buckets", buckets);
+          ])
+
+let to_json samples =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      sample_json buf s)
+    samples;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let prom_labels labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             let b = Buffer.create 16 in
+             Emit.escape b v;
+             k ^ "=" ^ Buffer.contents b)
+           labels)
+    ^ "}"
+
+let prom_number f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else Emit.float_repr f
+
+let to_prometheus samples =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (s : sample) ->
+      let ty =
+        match s.value with
+        | Counter _ -> "counter"
+        | Gauge _ -> "gauge"
+        | Histogram _ -> "histogram"
+      in
+      (* One HELP/TYPE header per metric family, even when label sets
+         split it into several samples. *)
+      if not (Hashtbl.mem seen_header s.name) then begin
+        Hashtbl.add seen_header s.name ();
+        if s.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.name s.help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" s.name ty)
+      end;
+      let ls = prom_labels s.labels in
+      match s.value with
+      | Counter v | Gauge v ->
+          Buffer.add_string buf (Printf.sprintf "%s%s %d\n" s.name ls v)
+      | Histogram h ->
+          Array.iteri
+            (fun i c ->
+              let le =
+                if i < Array.length h.upper then prom_number h.upper.(i)
+                else "+Inf"
+              in
+              let ls =
+                prom_labels (s.labels @ [ ("le", le) ])
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" s.name ls c))
+            h.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" s.name ls (prom_number h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" s.name ls h.count))
+    samples;
+  Buffer.contents buf
+
+(* Upper bound of the first cumulative bucket reaching quantile [q] —
+   a coarse estimate, but the honest one a fixed-bucket histogram can
+   give. *)
+let quantile_le (h : hist_view) q =
+  if h.count = 0 then "-"
+  else begin
+    let target =
+      int_of_float (Float.round (q *. float_of_int h.count)) |> max 1
+    in
+    let rec find i =
+      if i >= Array.length h.counts - 1 then "+Inf"
+      else if h.counts.(i) >= target then Emit.float_repr h.upper.(i)
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let pp_text ppf samples =
+  let label_str labels =
+    if labels = [] then ""
+    else
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      ^ "}"
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (s : sample) ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      let name = s.name ^ label_str s.labels in
+      match s.value with
+      | Counter v -> Format.fprintf ppf "counter    %-52s %12d" name v
+      | Gauge v -> Format.fprintf ppf "gauge      %-52s %12d" name v
+      | Histogram h ->
+          Format.fprintf ppf
+            "histogram  %-52s count=%d sum=%.3f p50<=%s p95<=%s p99<=%s" name
+            h.count h.sum (quantile_le h 0.50) (quantile_le h 0.95)
+            (quantile_le h 0.99))
+    samples;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,160 @@
+(** A registry of named counters, gauges and fixed-bucket histograms.
+
+    This is the measurement half of the observability subsystem: the
+    serving layer, the domain pool and the analysis fast path register
+    instruments here and bump them on their hot paths; a snapshot
+    merges everything into immutable samples for exposition as JSON
+    ({!to_json}, what [locmap batch --metrics] writes and [locmap
+    stats] pretty-prints) or Prometheus text ({!to_prometheus}).
+
+    {b Cost model}. Instruments are {e lock-cheap}:
+
+    - a counter is an array of per-domain shard cells ([int Atomic.t],
+      indexed by the calling domain's id), so concurrent increments
+      from different domains almost never contend — {!incr} is one
+      enabled-flag load plus one atomic fetch-and-add;
+    - a gauge is a single atomic cell (gauges are set, not
+      accumulated, so sharding would change their meaning);
+    - a histogram shards whole bucket tables per domain, each shard
+      behind its own mutex — an observation takes an uncontended lock,
+      bumps one bucket and the sum/count, and unlocks.
+
+    Shards are merged only on {!snapshot}, so reads never stall
+    writers for more than one shard's critical section.
+
+    {b Off switch}. A registry created with [~enabled:false] (or
+    switched off with {!set_enabled}) turns every instrument operation
+    into a single load-and-branch no-op — instrumented code can stay
+    compiled in at ~0% cost (bench/obs_bench.exe measures this).
+    Registration is independent of the flag, so a registry can be
+    enabled after the instruments exist.
+
+    {b Determinism}. Counter and gauge values are exact whatever the
+    domain count; {!to_json} and {!to_prometheus} print samples in
+    registration order with deterministic number formatting, so equal
+    states print byte-identically. Timing-valued metrics (histograms
+    fed by {!time}) are inherently wall-clock dependent — the byte-
+    reproducibility guarantee of the serving layer covers responses
+    and deterministic-mode traces, {e not} metrics snapshots.
+
+    {b Thread safety}: fully thread-safe. Registration takes the
+    registry mutex; instrument updates are atomic (counters, gauges)
+    or per-domain-shard locked (histograms); {!snapshot} may run
+    concurrently with updates and sees each instrument in a consistent
+    (if instantaneously racy across instruments) state. *)
+
+type t
+
+val create : ?shards:int -> ?enabled:bool -> unit -> t
+(** [shards] (default 8, rounded up to a power of two, max 256) is the
+    number of per-domain cells each sharded instrument carries;
+    [enabled] defaults to [true]. Raises [Invalid_argument] on
+    [shards < 1]. *)
+
+val is_enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Flips the registry-wide switch; takes effect on the next
+    instrument operation (no fence — in-flight updates may still
+    land). *)
+
+val num_shards : t -> int
+
+(** {2 Instruments}
+
+    Registration is idempotent: asking for an existing (name, labels)
+    pair returns the same instrument, so independent components may
+    register the same metric. Asking for it with a different
+    instrument kind (or different buckets) raises [Invalid_argument].
+    Names must match [[a-zA-Z_][a-zA-Z0-9_]*] (Prometheus-compatible);
+    label keys likewise, label values are free-form. *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative amount (counters are
+    monotone). *)
+
+val counter_value : counter -> int
+(** Sum over shards — exact, since shard cells only grow. *)
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set_gauge : gauge -> int -> unit
+
+val add_gauge : gauge -> int -> unit
+(** Signed; gauges go up and down (queue depths, entry counts). *)
+
+val gauge_value : gauge -> int
+
+val default_buckets : float array
+(** Latency buckets in milliseconds, 0.05 ms to 5 s in a 1–2.5–5
+    progression — the buckets every obs histogram in this repo uses
+    unless it asks for its own. *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** [buckets] are upper bounds (inclusive, Prometheus [le] semantics),
+    strictly increasing and finite; an overflow (+Inf) bucket is
+    implicit. Raises [Invalid_argument] on an empty or non-increasing
+    bucket array. *)
+
+val observe : histogram -> float -> unit
+(** Records one observation: the first bucket with [v <= upper] (or
+    the overflow bucket) gains a count, and sum/count advance. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Runs the thunk and observes its wall-clock duration in
+    milliseconds; when the registry is disabled the clock is never
+    read. Exceptions propagate without observing. *)
+
+(** {2 Snapshots and exposition} *)
+
+type hist_view = {
+  upper : float array;  (** bucket upper bounds, ascending *)
+  counts : int array;
+      (** cumulative counts per bucket (Prometheus convention); the
+          last entry is the overflow bucket and equals [count] *)
+  sum : float;
+  count : int;
+}
+
+type value = Counter of int | Gauge of int | Histogram of hist_view
+
+type sample = {
+  name : string;
+  help : string;
+  labels : (string * string) list;  (** in registration order *)
+  value : value;
+}
+
+val snapshot : t -> sample list
+(** Immutable merged view, in registration order. *)
+
+val to_json : sample list -> string
+(** One compact JSON object:
+    [{"metrics":[{"name":..,"type":"counter",..},..]}]. Histograms
+    carry ["count"], ["sum"] and a cumulative ["buckets"] array whose
+    final entry has ["le":"+Inf"]. Parses back through [Service.Json]
+    (the [locmap stats] path). *)
+
+val to_prometheus : sample list -> string
+(** Prometheus text exposition format 0.0.4: [# HELP]/[# TYPE]
+    comments, [_bucket]/[_sum]/[_count] series for histograms. *)
+
+val pp_text : Format.formatter -> sample list -> unit
+(** Human-readable table ([locmap stats]): one line per counter/gauge,
+    and count, sum and bucket-estimated p50/p95/p99 per histogram. *)

@@ -1,5 +1,16 @@
 exception Crash of string
 
+(* Obs instruments, registered once per pool when a registry is passed
+   to [create]. Handles are shared across pools on the same registry
+   (registration is idempotent), so the metrics aggregate fleet-wide. *)
+type instruments = {
+  im : Obs.Metrics.t;
+  queue_depth : Obs.Metrics.gauge;
+  tasks : Obs.Metrics.counter;
+  busy_ns : Obs.Metrics.counter;
+  icrashes : Obs.Metrics.counter;
+}
+
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
@@ -8,6 +19,7 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable target : int;
   mutable crashes : int;
+  obs : instruments option;
 }
 
 let default_domains () =
@@ -30,6 +42,9 @@ let rec worker_loop pool () =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.lock;
+      (match pool.obs with
+      | Some i -> Obs.Metrics.add_gauge i.queue_depth (-1)
+      | None -> ());
       match job () with
       | () -> loop ()
       | exception _ ->
@@ -37,13 +52,16 @@ let rec worker_loop pool () =
           pool.crashes <- pool.crashes + 1;
           if not pool.stop then
             pool.workers <- Domain.spawn (worker_loop pool) :: pool.workers;
-          Mutex.unlock pool.lock
+          Mutex.unlock pool.lock;
+          (match pool.obs with
+          | Some i -> Obs.Metrics.incr i.icrashes
+          | None -> ())
           (* fall off the end: this domain is dead *)
     end
   in
   loop ()
 
-let create ?num_domains () =
+let create ?num_domains ?metrics () =
   let n =
     match num_domains with
     | None -> default_domains ()
@@ -54,6 +72,29 @@ let create ?num_domains () =
         invalid_arg "Pool.create: negative num_domains"
     | Some n -> n
   in
+  let obs =
+    match metrics with
+    | None -> None
+    | Some im ->
+        Some
+          {
+            im;
+            queue_depth =
+              Obs.Metrics.gauge im ~help:"jobs queued, not yet running"
+                "locmap_pool_queue_depth";
+            tasks =
+              Obs.Metrics.counter im ~help:"jobs completed (ok or error)"
+                "locmap_pool_tasks_total";
+            busy_ns =
+              Obs.Metrics.counter im
+                ~help:"worker nanoseconds spent inside jobs"
+                "locmap_pool_busy_ns_total";
+            icrashes =
+              Obs.Metrics.counter im
+                ~help:"worker domains that died and were replaced"
+                "locmap_pool_crashes_total";
+          }
+  in
   let pool =
     {
       lock = Mutex.create ();
@@ -63,6 +104,7 @@ let create ?num_domains () =
       workers = [];
       target = (if n > 1 then n else 0);
       crashes = 0;
+      obs;
     }
   in
   if n > 1 then
@@ -85,7 +127,24 @@ let submit t job =
   end;
   Queue.push job t.queue;
   Condition.signal t.nonempty;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  match t.obs with
+  | Some i -> Obs.Metrics.add_gauge i.queue_depth 1
+  | None -> ()
+
+(* One job with per-job fault containment, its wall time charged to the
+   busy counter when instrumentation is on (the clock is only read with
+   the registry enabled, so a disabled registry costs one branch). *)
+let run_job t f x =
+  match t.obs with
+  | Some i when Obs.Metrics.is_enabled i.im ->
+      let t0 = Obs.Clock.now_ns () in
+      let r = try Ok (f x) with e -> Error e in
+      Obs.Metrics.add i.busy_ns
+        (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0));
+      Obs.Metrics.incr i.tasks;
+      r
+  | _ -> ( try Ok (f x) with e -> Error e)
 
 let try_map t f xs =
   let n = Array.length xs in
@@ -95,7 +154,7 @@ let try_map t f xs =
     (* Inline pool: the caller's domain cannot be allowed to die, so a
        crash is contained here — producing the same per-task [Error] a
        worker-backed pool records before its domain exits. *)
-    Array.map (fun x -> try Ok (f x) with e -> Error e) xs
+    Array.map (run_job t f) xs
   end
   else begin
     let results = Array.make n None in
@@ -112,7 +171,7 @@ let try_map t f xs =
     Array.iteri
       (fun i x ->
         submit t (fun () ->
-            let r = try Ok (f x) with e -> Error e in
+            let r = run_job t f x in
             fill i r;
             (* A simulated domain death must actually kill the worker so
                the crash-isolation path (respawn, batch drain) is

@@ -32,7 +32,15 @@
 
     {b Thread safety}: the pool itself is thread-safe — every queue and
     counter access is under the pool mutex, and {!try_map} may be called
-    concurrently from different domains. *)
+    concurrently from different domains.
+
+    {b Observability}: pass [?metrics] to {!create} to register and
+    feed four metrics — [locmap_pool_queue_depth] (gauge: submitted,
+    not yet started), [locmap_pool_tasks_total],
+    [locmap_pool_busy_ns_total] (counters: jobs completed and worker
+    time inside jobs — only accumulated while the registry is enabled)
+    and [locmap_pool_crashes_total]. Metric updates happen outside the
+    pool mutex and never affect job results or ordering. *)
 
 type t
 
@@ -46,10 +54,12 @@ val default_domains : unit -> int
 (** [min 8 (Domain.recommended_domain_count () - 1)], at least 1 — a
     sensible worker count that leaves the submitting domain a core. *)
 
-val create : ?num_domains:int -> unit -> t
+val create : ?num_domains:int -> ?metrics:Obs.Metrics.t -> unit -> t
 (** Defaults to {!default_domains}. Raises [Invalid_argument] on a
     negative count (construction-time caller contract — never reachable
-    from request data, hence not a {!Fault}). *)
+    from request data, hence not a {!Fault}). [metrics] registers the
+    pool instruments described above; pools sharing a registry share
+    (aggregate into) the same instruments. *)
 
 val num_domains : t -> int
 (** Configured worker-domain count (0 for an inline pool); crash

@@ -31,7 +31,27 @@
     mutable state; so a batch's responses — including [degraded] flags
     and fault payloads — are byte-identical whether the pool runs 0 or
     8 worker domains. [test/test_resilience.ml] asserts this under
-    active fault injection. *)
+    active fault injection.
+
+    {b Observability}: [create ?metrics] instruments the whole stack
+    behind this front-end — the cache ([locmap_cache_*]), the pool
+    ([locmap_pool_*]) and the serving layer itself:
+    [locmap_requests_served_total], [locmap_requests_computed_total],
+    [locmap_responses_error_total], [locmap_responses_degraded_total],
+    [locmap_retries_total], [locmap_faults_total{kind}] (counted
+    {e before} degradation, so masked deadline expiries and crashes
+    stay visible), the [locmap_request_ms] latency histogram and
+    [locmap_mapper_phase_ms{phase}] per-pipeline-phase histograms.
+    [create ?tracer] opens one root span per {e computed} request
+    (trace id = the request hash's first 16 hex chars), a child span
+    per resilience attempt, and a ["phase.*"] span per mapper phase.
+    Instrumentation never changes responses: in the tracer's
+    deterministic-ID mode the exported trace of a batch is itself
+    byte-identical at any domain count (trace ids come from request
+    hashes, spans within a trace are created by the one worker
+    computing it, and the export is sorted). Metrics snapshots are
+    {e not} byte-stable — they measure real time and real
+    interleavings. *)
 
 type t
 
@@ -53,12 +73,17 @@ val create :
   ?num_domains:int ->
   ?resilience:Resilience.policy ->
   ?injection:Fault_injection.plan ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
   unit ->
   t
 (** [cache_capacity] defaults to 512 solutions; [num_domains] to 1
     (inline execution, no spawned domains); [resilience] to
     {!Resilience.default} (2 retries, no deadline, no degradation);
-    [injection] to {!Fault_injection.none}. *)
+    [injection] to {!Fault_injection.none}. [metrics] and [tracer]
+    (both off by default) enable the instrumentation described above;
+    the caller keeps the handles and drains them
+    ({!Obs.Metrics.snapshot}, {!Obs.Trace.to_jsonl}). *)
 
 val submit : t -> Request.t -> Response.t
 (** Single-request convenience: a one-element {!submit_batch} (the

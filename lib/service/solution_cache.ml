@@ -1,6 +1,11 @@
 (* Classic hash-table + doubly-linked-list LRU. The list runs from
    most-recently used (head) to least (tail); the table maps key to its
-   list node for O(1) touch/remove. *)
+   list node for O(1) touch/remove.
+
+   Counters live outside the mutex as atomics so that statistics reads
+   ([counters], [hit_rate], [length]) never contend with the LRU lock —
+   a stats scrape cannot stall the serving hot path. [size] mirrors
+   [Hashtbl.length table] for the same reason. *)
 
 type 'a node = {
   key : string;
@@ -16,29 +21,66 @@ type counters = {
   evictions : int;
 }
 
+(* Registered once per cache when a registry is passed to [create]. *)
+type instruments = {
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_insertions : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+  m_entries : Obs.Metrics.gauge;
+}
+
 type 'a t = {
   cap : int;
   table : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
-  mutable hits : int;
-  mutable misses : int;
-  mutable insertions : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  insertions : int Atomic.t;
+  evictions : int Atomic.t;
+  size : int Atomic.t;
+  obs : instruments option;
   lock : Mutex.t;
 }
 
-let create ~capacity () =
+let create ~capacity ?metrics () =
   if capacity < 1 then invalid_arg "Solution_cache.create: capacity < 1";
+  let obs =
+    match metrics with
+    | None -> None
+    | Some im ->
+        Some
+          {
+            m_hits =
+              Obs.Metrics.counter im ~help:"cache lookups that hit"
+                "locmap_cache_hits_total";
+            m_misses =
+              Obs.Metrics.counter im ~help:"cache lookups that missed"
+                "locmap_cache_misses_total";
+            m_insertions =
+              Obs.Metrics.counter im ~help:"new entries inserted"
+                "locmap_cache_insertions_total";
+            m_evictions =
+              Obs.Metrics.counter im
+                ~help:"entries dropped by capacity pressure"
+                "locmap_cache_evictions_total";
+            m_entries =
+              Obs.Metrics.gauge im ~help:"entries currently cached"
+                "locmap_cache_entries";
+          }
+  in
   {
     cap = capacity;
     table = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
-    hits = 0;
-    misses = 0;
-    insertions = 0;
-    evictions = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    insertions = Atomic.make 0;
+    evictions = Atomic.make 0;
+    size = Atomic.make 0;
+    obs;
     lock = Mutex.create ();
   }
 
@@ -48,7 +90,15 @@ let locked t f =
 
 let capacity t = t.cap
 
-let length t = locked t (fun () -> Hashtbl.length t.table)
+let length t = Atomic.get t.size
+
+let obs_incr t pick =
+  match t.obs with Some i -> Obs.Metrics.incr (pick i) | None -> ()
+
+let sync_entries t =
+  match t.obs with
+  | Some i -> Obs.Metrics.set_gauge i.m_entries (Atomic.get t.size)
+  | None -> ()
 
 (* List surgery; all callers hold the lock. *)
 
@@ -71,37 +121,61 @@ let touch t n =
       push_front t n
 
 let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some n ->
-          t.hits <- t.hits + 1;
-          touch t n;
-          Some n.value
-      | None ->
-          t.misses <- t.misses + 1;
-          None)
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            touch t n;
+            Some n.value
+        | None -> None)
+  in
+  (match r with
+  | Some _ ->
+      Atomic.incr t.hits;
+      obs_incr t (fun i -> i.m_hits)
+  | None ->
+      Atomic.incr t.misses;
+      obs_incr t (fun i -> i.m_misses));
+  r
 
 let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
 
 let add t key value =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some n ->
-          n.value <- value;
-          touch t n
-      | None ->
-          if Hashtbl.length t.table >= t.cap then begin
-            match t.tail with
-            | Some lru ->
-                unlink t lru;
-                Hashtbl.remove t.table lru.key;
-                t.evictions <- t.evictions + 1
-            | None -> assert false
-          end;
-          let n = { key; value; prev = None; next = None } in
-          push_front t n;
-          Hashtbl.replace t.table key n;
-          t.insertions <- t.insertions + 1)
+  let evicted, inserted =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            n.value <- value;
+            touch t n;
+            (false, false)
+        | None ->
+            let evicted =
+              if Hashtbl.length t.table >= t.cap then begin
+                match t.tail with
+                | Some lru ->
+                    unlink t lru;
+                    Hashtbl.remove t.table lru.key;
+                    Atomic.decr t.size;
+                    true
+                | None -> assert false
+              end
+              else false
+            in
+            let n = { key; value; prev = None; next = None } in
+            push_front t n;
+            Hashtbl.replace t.table key n;
+            Atomic.incr t.size;
+            (evicted, true))
+  in
+  if evicted then begin
+    Atomic.incr t.evictions;
+    obs_incr t (fun i -> i.m_evictions)
+  end;
+  if inserted then begin
+    Atomic.incr t.insertions;
+    obs_incr t (fun i -> i.m_insertions)
+  end;
+  if evicted || inserted then sync_entries t
 
 let keys_mru t =
   locked t (fun () ->
@@ -112,32 +186,29 @@ let keys_mru t =
       collect [] t.head)
 
 let counters t =
-  locked t (fun () ->
-      {
-        hits = t.hits;
-        misses = t.misses;
-        insertions = t.insertions;
-        evictions = t.evictions;
-      })
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    insertions = Atomic.get t.insertions;
+    evictions = Atomic.get t.evictions;
+  }
 
 let hit_rate t =
-  locked t (fun () ->
-      let total = t.hits + t.misses in
-      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+  let h = Atomic.get t.hits and m = Atomic.get t.misses in
+  let total = h + m in
+  if total = 0 then 0. else float_of_int h /. float_of_int total
 
 let reset_counters t =
-  locked t (fun () ->
-      t.hits <- 0;
-      t.misses <- 0;
-      t.insertions <- 0;
-      t.evictions <- 0)
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.insertions 0;
+  Atomic.set t.evictions 0
 
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;
       t.head <- None;
       t.tail <- None;
-      t.hits <- 0;
-      t.misses <- 0;
-      t.insertions <- 0;
-      t.evictions <- 0)
+      Atomic.set t.size 0);
+  reset_counters t;
+  sync_entries t

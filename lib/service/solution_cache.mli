@@ -6,13 +6,25 @@
     inserting into a full cache evicts the least-recently-used entry.
     Both {!find} and {!add} refresh recency.
 
-    Thread safety: every operation takes an internal mutex, so a cache
-    may be shared freely across domains. Counter updates are atomic
-    with the operation that caused them, but a find/add pair is not a
-    transaction — under concurrent misses of the same key both callers
-    may compute and store (last store wins, which is harmless for
-    deterministic solutions). {!Api} avoids even that by deduplicating
-    batches before dispatch. *)
+    {b Thread safety}: every structural operation takes an internal
+    mutex, so a cache may be shared freely across domains. The
+    statistics — {!counters}, {!hit_rate}, {!length} — are kept in
+    atomics {e outside} that mutex and read lock-free: a stats scrape
+    never contends with (or stalls) the serving hot path. The price is
+    that a statistics read concurrent with operations sees each atomic
+    at its own instant — e.g. a [find] whose structural step has
+    completed but whose hit is not yet counted — so cross-counter sums
+    are momentarily approximate under concurrency, and exact once the
+    operations in flight have returned. A find/add pair is likewise not
+    a transaction — under concurrent misses of the same key both
+    callers may compute and store (last store wins, which is harmless
+    for deterministic solutions). {!Api} avoids even that by
+    deduplicating batches before dispatch.
+
+    {b Observability}: pass [?metrics] to {!create} to additionally
+    feed [locmap_cache_hits_total], [locmap_cache_misses_total],
+    [locmap_cache_insertions_total], [locmap_cache_evictions_total]
+    (counters) and [locmap_cache_entries] (gauge). *)
 
 type 'a t
 
@@ -23,8 +35,9 @@ type counters = {
   evictions : int;  (** entries dropped by capacity pressure *)
 }
 
-val create : capacity:int -> unit -> 'a t
-(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+val create : capacity:int -> ?metrics:Obs.Metrics.t -> unit -> 'a t
+(** Raises [Invalid_argument] unless [capacity >= 1]. [metrics]
+    registers the cache instruments described above. *)
 
 val capacity : 'a t -> int
 
