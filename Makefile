@@ -3,6 +3,7 @@
 .PHONY: all check test bench bench-service bench-service-smoke \
         bench-resilience bench-resilience-smoke bench-verify \
         bench-analysis bench-analysis-smoke bench-obs bench-obs-smoke \
+        bench-loadgen bench-loadgen-smoke serve-smoke \
         chaos sweep lint fmt fmt-check verify clean
 
 all:
@@ -57,6 +58,51 @@ bench-obs:
 bench-obs-smoke:
 	dune exec bench/obs_bench.exe -- --smoke
 
+# Network load benchmark: open-loop Poisson arrivals against a
+# self-hosted `lib/net` server — throughput, shed rate, served/shed
+# latency percentiles. The smoke variant is the CI bit-rot gate.
+bench-loadgen:
+	dune exec bench/loadgen_bench.exe
+
+bench-loadgen-smoke:
+	dune exec bench/loadgen_bench.exe -- --smoke
+
+# End-to-end serve smoke: start `locmap serve` on an ephemeral port,
+# drive a loadgen burst to completion, then SIGTERM the server in the
+# middle of a second burst and require a clean drain — the server
+# exits 0 only if every admitted request was answered. The server runs
+# as the built binary (not via `dune exec`) so the signal reaches it.
+serve-smoke:
+	dune build bin/locmap_cli.exe bench/loadgen_bench.exe
+	@rm -f .smoke_port; \
+	./_build/default/bin/locmap_cli.exe serve --port 0 \
+	  --port-file .smoke_port --max-inflight 2 -d 2 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -s .smoke_port ] && break; sleep 0.1; \
+	done; \
+	if ! [ -s .smoke_port ]; then echo "server never came up"; \
+	  kill $$pid 2> /dev/null; exit 1; fi; \
+	port=$$(cat .smoke_port); \
+	./_build/default/bench/loadgen_bench.exe --smoke --port $$port \
+	  || { kill -TERM $$pid; exit 1; }; \
+	./_build/default/bench/loadgen_bench.exe --smoke --port $$port \
+	  --tolerate-drain & lg=$$!; \
+	sleep 0.3; \
+	kill -TERM $$pid; \
+	wait $$pid; server_status=$$?; \
+	wait $$lg; lg_status=$$?; \
+	rm -f .smoke_port; \
+	if [ $$server_status -ne 0 ]; then \
+	  echo "serve-smoke FAILED: server exit $$server_status (lost requests?)"; \
+	  exit 1; \
+	fi; \
+	if [ $$lg_status -ne 0 ]; then \
+	  echo "serve-smoke FAILED: drain-tolerant loadgen exit $$lg_status"; \
+	  exit 1; \
+	fi; \
+	echo "serve-smoke ok: clean drain, zero admitted requests lost"
+
 # Chaos gate: the resilience suite (fault matrix, deadlines, crash
 # isolation, 1/2/4/8-domain byte-determinism under injection) repeated
 # under three fixed seeds that parameterise the injection plans.
@@ -78,7 +124,8 @@ sweep:
 # fixture must still be flagged.
 lint:
 	dune exec bin/locmap_lint.exe -- lib/service lib/harness lib/par \
-	  lib/obs lib/core/analysis.ml lib/core/line_memo.ml lib/core/mapper.ml
+	  lib/net lib/obs lib/core/analysis.ml lib/core/line_memo.ml \
+	  lib/core/mapper.ml
 	@if dune exec bin/locmap_lint.exe -- -q test/fixtures/lint \
 	    > /dev/null 2>&1; then \
 	  echo "lint self-test FAILED: seeded fixture not flagged"; exit 1; \

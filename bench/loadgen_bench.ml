@@ -1,0 +1,444 @@
+(* Open-loop load generator for `locmap serve` (lib/net).
+
+     dune exec bench/loadgen_bench.exe                 # self-hosted server
+     dune exec bench/loadgen_bench.exe -- --port 7070  # external server
+     dune exec bench/loadgen_bench.exe -- --smoke      # CI configuration
+
+   Arrivals are open-loop Poisson (seeded exponential inter-arrival
+   times at --rate req/s), so offered load does not slow down when the
+   server does — exactly the regime admission control exists for. The
+   request mix is Zipf-skewed over the registry × {private,shared}
+   universe, round-robined across --conns connections, each driven by
+   its own domain. Every response is matched FIFO to its send (the
+   server answers each connection serially, in line order) and its
+   latency lands in an obs histogram — one for served requests, one
+   for shed ones — from which the report reads p50/p99. The point the
+   report makes: past capacity the server sheds the excess in
+   microseconds while the latency of what it does accept stays
+   bounded.
+
+   Without --port the bench hosts the server in-process (--domains,
+   --max-inflight size it); with --port it drives an already-running
+   `locmap serve`. --tolerate-drain accepts mid-run connection loss
+   and unanswered tail sends as success — for smoke tests that SIGTERM
+   the server mid-burst on purpose. *)
+
+let scale = ref 0.35
+let num_requests = ref 200
+let rate = ref 50.
+let conns = ref 8
+let zipf_s = ref 1.1
+let seed = ref 0xbeef
+let port = ref 0 (* 0 = self-host *)
+let host = ref "127.0.0.1"
+let domains = ref 4
+let max_inflight = ref 4
+let tolerate_drain = ref false
+
+let usage =
+  "loadgen_bench.exe [--smoke] [--port P] [--rate R] [--requests N] \
+   [--conns C] [--zipf S] [--scale S] [--seed N] [--domains N] \
+   [--max-inflight N] [--tolerate-drain]"
+
+let set_smoke () =
+  (* CI bit-rot gate: tiny inputs, enough pressure to exercise the
+     shed path (4 connections racing for 2 admission slots). *)
+  scale := 0.05;
+  num_requests := 60;
+  rate := 100.;
+  conns := 4;
+  domains := 2;
+  max_inflight := 2
+
+let args =
+  [
+    ("--scale", Arg.Set_float scale, "S benchmark input-size scale (default 0.35)");
+    ("--requests", Arg.Set_int num_requests, "N total sends (default 200)");
+    ("--rate", Arg.Set_float rate, "R offered load, requests/second (default 50)");
+    ("--conns", Arg.Set_int conns, "C client connections (default 8)");
+    ("--zipf", Arg.Set_float zipf_s, "S Zipf skew exponent (default 1.1)");
+    ("--seed", Arg.Set_int seed, "N RNG seed for mix and arrivals (default 0xbeef)");
+    ( "--port",
+      Arg.Set_int port,
+      "P drive an external `locmap serve` (default: self-host in-process)" );
+    ("--host", Arg.Set_string host, "ADDR server address (default 127.0.0.1)");
+    ( "--domains",
+      Arg.Set_int domains,
+      "N worker domains for the self-hosted server (default 4)" );
+    ( "--max-inflight",
+      Arg.Set_int max_inflight,
+      "N admission budget of the self-hosted server (default 4)" );
+    ( "--tolerate-drain",
+      Arg.Set tolerate_drain,
+      " count connection loss / unanswered sends as drained, not failed" );
+    ( "--smoke",
+      Arg.Unit set_smoke,
+      " quick CI configuration (scale 0.05, 60 requests, 4 conns)" );
+  ]
+
+(* Same universe and Zipf sampling as service_bench: every registry
+   workload on private and shared LLC, popularity decoupled from
+   registry order by a seeded permutation. *)
+let universe () =
+  List.concat_map
+    (fun llc ->
+      List.map
+        (fun name ->
+          let machine = { Machine.Config.default with llc_org = llc } in
+          Service.Request.make ~scale:!scale ~machine name)
+        Workloads.Registry.names)
+    [ Cache.Llc.Private; Cache.Llc.Shared ]
+  |> Array.of_list
+
+let zipf_mix rng universe n =
+  let u = Array.length universe in
+  let perm = Array.init u Fun.id in
+  for i = u - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let weights =
+    Array.init u (fun k -> 1. /. Float.pow (float_of_int (k + 1)) !zipf_s)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let sample () =
+    let x = Random.State.float rng total in
+    let rec find k acc =
+      let acc = acc +. weights.(k) in
+      if x <= acc || k = u - 1 then perm.(k) else find (k + 1) acc
+    in
+    find 0 0.
+  in
+  Array.init n (fun _ -> universe.(sample ()))
+
+(* Poisson arrivals: absolute offsets (seconds) with Exp(rate)
+   inter-arrival gaps. *)
+let arrival_times rng n =
+  let t = ref 0. in
+  Array.init n (fun _ ->
+      t := !t +. (-.log (1. -. Random.State.float rng 1.) /. !rate);
+      !t)
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection client: send at the scheduled instants, match
+   responses FIFO, classify by the wire fault kind.                    *)
+
+type outcome = Served | Degraded | Shed | Failed of string | Unanswered
+
+let classify line =
+  match Service.Json.of_string line with
+  | Error e -> Failed (Printf.sprintf "unparseable response: %s" e)
+  | Ok j -> (
+      match Option.map Service.Json.to_bool (Service.Json.member "ok" j) with
+      | Some (Ok true) ->
+          let degraded =
+            match Service.Json.member "result" j with
+            | Some r -> (
+                match
+                  Option.map Service.Json.to_bool
+                    (Service.Json.member "degraded" r)
+                with
+                | Some (Ok true) -> true
+                | _ -> false)
+            | None -> false
+          in
+          if degraded then Degraded else Served
+      | Some (Ok false) -> (
+          match Service.Json.member "error" j with
+          | Some e -> (
+              match
+                Option.map Service.Json.to_str (Service.Json.member "kind" e)
+              with
+              | Some (Ok "overload") -> Shed
+              | Some (Ok k) -> Failed k
+              | _ -> Failed "malformed error object")
+          | None -> Failed "missing error object")
+      | _ -> Failed "missing ok field")
+
+type conn_result = {
+  outcomes : outcome array;  (* indexed by this connection's send order *)
+  send_failures : int;  (* sends the socket refused (drain/reset) *)
+}
+
+let ms_of_ns ns = Obs.Clock.ns_to_ms ns
+
+let run_conn ~addr ~t0_ns ~schedule ~ok_hist ~shed_hist () =
+  let n = Array.length schedule in
+  let outcomes = Array.make n Unanswered in
+  let send_failures = ref 0 in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      { outcomes; send_failures = n }
+  | () ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let reader = Net.Frame.create () in
+      let buf = Bytes.create 16384 in
+      let sent_ns = Array.make n 0L in
+      let next_recv = ref 0 in
+      let alive = ref true in
+      let record line =
+        let i = !next_recv in
+        incr next_recv;
+        if i < n then begin
+          let lat = ms_of_ns (Int64.sub (Obs.Clock.now_ns ()) sent_ns.(i)) in
+          let o = classify line in
+          outcomes.(i) <- o;
+          match o with
+          | Served | Degraded -> Obs.Metrics.observe ok_hist lat
+          | Shed -> Obs.Metrics.observe shed_hist lat
+          | Failed _ | Unanswered -> ()
+        end
+      in
+      let pump_frames () =
+        let rec go () =
+          match Net.Frame.next reader with
+          | Some (Net.Frame.Line l) ->
+              record l;
+              go ()
+          | Some (Net.Frame.Too_long _) ->
+              record "";
+              go ()
+          | None -> ()
+        in
+        go ()
+      in
+      let read_once ~block =
+        let timeout = if block then 0.2 else 0. in
+        match Unix.select [ fd ] [] [] timeout with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 ->
+                Net.Frame.close reader;
+                alive := false
+            | got -> Net.Frame.feed reader buf 0 got
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+            | exception Unix.Unix_error (_, _, _) ->
+                Net.Frame.close reader;
+                alive := false)
+      in
+      let send_line line =
+        let b = Bytes.unsafe_of_string line in
+        let len = Bytes.length b in
+        let rec go off =
+          if off < len then
+            match Unix.write fd b off (len - off) with
+            | w -> go (off + w)
+            | exception Unix.Unix_error (EINTR, _, _) -> go off
+        in
+        match go 0 with
+        | () -> true
+        | exception Unix.Unix_error (_, _, _) ->
+            alive := false;
+            false
+      in
+      Array.iteri
+        (fun i (at, line) ->
+          if !alive then begin
+            (* Hold the open-loop schedule: sleep to the absolute
+               offset, draining any responses that already arrived. *)
+            let rec wait () =
+              let now =
+                ms_of_ns (Int64.sub (Obs.Clock.now_ns ()) t0_ns) /. 1000.
+              in
+              if now < at then begin
+                read_once ~block:false;
+                pump_frames ();
+                (try Unix.sleepf (Float.min 0.002 (at -. now))
+                 with Unix.Unix_error (EINTR, _, _) -> ());
+                wait ()
+              end
+            in
+            wait ();
+            sent_ns.(i) <- Obs.Clock.now_ns ();
+            if not (send_line (line ^ "\n")) then incr send_failures
+          end
+          else incr send_failures)
+        schedule;
+      (* Tail: everything is sent; block for the remaining responses
+         until the server answered them all or closed on us. *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error (_, _, _) -> ());
+      while !alive && !next_recv < n do
+        read_once ~block:true;
+        pump_frames ()
+      done;
+      pump_frames ();
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      { outcomes; send_failures = !send_failures }
+
+(* ------------------------------------------------------------------ *)
+
+let percentile (h : Obs.Metrics.hist_view) q =
+  if h.count = 0 then nan
+  else
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int h.count)))
+    in
+    let rec find i =
+      if i >= Array.length h.counts - 1 then Float.infinity
+      else if h.counts.(i) >= rank then h.upper.(i)
+      else find (i + 1)
+    in
+    find 0
+
+let pp_pctl v =
+  if v <> v (* nan *) then "n/a"
+  else if v = Float.infinity then ">5000ms"
+  else Printf.sprintf "<=%gms" v
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let rng = Random.State.make [| !seed |] in
+  let mix = zipf_mix rng (universe ()) !num_requests in
+  let arrivals = arrival_times rng !num_requests in
+  let duration = arrivals.(!num_requests - 1) in
+
+  (* Self-host unless --port points at an external server. *)
+  let hosted =
+    if !port <> 0 then None
+    else begin
+      let api =
+        Service.Api.create ~cache_capacity:64 ~num_domains:!domains ()
+      in
+      let config =
+        {
+          Net.Server.default_config with
+          Net.Server.host = !host;
+          max_inflight = !max_inflight;
+          max_conns = !conns + 4;
+        }
+      in
+      let server = Net.Server.create ~config ~api () in
+      port := Net.Server.port server;
+      Some (api, server)
+    end
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port) in
+
+  Printf.printf
+    "open-loop Poisson load: %d requests at %.0f req/s over %d conns \
+     (Zipf s=%.2f, scale %.2f, ~%.1fs)\n"
+    !num_requests !rate !conns !zipf_s !scale duration;
+  (match hosted with
+  | Some _ ->
+      Printf.printf
+        "self-hosted server: %d domains, admission budget %d\n%!" !domains
+        !max_inflight
+  | None -> Printf.printf "external server: %s:%d\n%!" !host !port);
+
+  (* Shared latency histograms; the registry is thread-safe, so all
+     connection domains observe into the same two instruments. *)
+  let m = Obs.Metrics.create () in
+  let ok_hist = Obs.Metrics.histogram m ~help:"served latency" "loadgen_ok_ms" in
+  let shed_hist =
+    Obs.Metrics.histogram m ~help:"shed latency" "loadgen_shed_ms"
+  in
+
+  (* Round-robin the global schedule across connections; each keeps
+     its sends in global arrival order. *)
+  let schedules =
+    Array.init !conns (fun c ->
+        let items = ref [] in
+        for i = !num_requests - 1 downto 0 do
+          if i mod !conns = c then
+            items :=
+              (arrivals.(i), Service.Json.to_string (Service.Request.to_json mix.(i)))
+              :: !items
+        done;
+        Array.of_list !items)
+  in
+  let t0_ns = Obs.Clock.now_ns () in
+  let doms =
+    Array.map
+      (fun schedule ->
+        Domain.spawn (run_conn ~addr ~t0_ns ~schedule ~ok_hist ~shed_hist))
+      schedules
+  in
+  let results = Array.map Domain.join doms in
+  let elapsed = ms_of_ns (Int64.sub (Obs.Clock.now_ns ()) t0_ns) /. 1000. in
+
+  let count p =
+    Array.fold_left
+      (fun acc r ->
+        acc + Array.fold_left (fun a o -> if p o then a + 1 else a) 0 r.outcomes)
+      0 results
+  in
+  let served = count (function Served | Degraded -> true | _ -> false) in
+  let degraded = count (function Degraded -> true | _ -> false) in
+  let shed = count (function Shed -> true | _ -> false) in
+  let failed = count (function Failed _ -> true | _ -> false) in
+  let unanswered = count (function Unanswered -> true | _ -> false) in
+  let send_failures =
+    Array.fold_left (fun a r -> a + r.send_failures) 0 results
+  in
+  Array.iter
+    (fun r ->
+      Array.iter
+        (function
+          | Failed k -> Printf.printf "!! failed response: %s\n" k
+          | _ -> ())
+        r.outcomes)
+    results;
+
+  Printf.printf "\n%-22s %d\n" "sent:" (!num_requests - send_failures);
+  Printf.printf "%-22s %d (%d degraded)\n" "served:" served degraded;
+  Printf.printf "%-22s %d (%.1f%% of sends)\n" "shed (overload):" shed
+    (100. *. float_of_int shed /. float_of_int (max 1 !num_requests));
+  if failed > 0 then Printf.printf "%-22s %d\n" "failed:" failed;
+  if unanswered + send_failures > 0 then
+    Printf.printf "%-22s %d unanswered, %d unsendable\n" "lost to drain:"
+      unanswered send_failures;
+  Printf.printf "%-22s %.1f req/s offered, %.1f req/s served\n" "throughput:"
+    (float_of_int !num_requests /. elapsed)
+    (float_of_int served /. elapsed);
+  let view h =
+    List.find_map
+      (fun (s : Obs.Metrics.sample) ->
+        match s.value with
+        | Obs.Metrics.Histogram v when s.name = h -> Some v
+        | _ -> None)
+      (Obs.Metrics.snapshot m)
+  in
+  (match view "loadgen_ok_ms" with
+  | Some v when v.count > 0 ->
+      Printf.printf "%-22s p50 %s, p99 %s\n" "served latency:"
+        (pp_pctl (percentile v 0.50))
+        (pp_pctl (percentile v 0.99))
+  | _ -> ());
+  (match view "loadgen_shed_ms" with
+  | Some v when v.count > 0 ->
+      Printf.printf "%-22s p50 %s, p99 %s (shedding must be cheap)\n"
+        "shed latency:"
+        (pp_pctl (percentile v 0.50))
+        (pp_pctl (percentile v 0.99))
+  | _ -> ());
+
+  let lost_in_server =
+    match hosted with
+    | None -> 0
+    | Some (api, server) ->
+        Net.Server.request_stop server;
+        let st = Net.Server.drain server in
+        Format.printf "%a@." Net.Server.pp_stats st;
+        Service.Api.shutdown api;
+        st.Net.Server.lost
+  in
+  let drain_losses = unanswered + send_failures in
+  let ok =
+    failed = 0 && lost_in_server = 0
+    && (drain_losses = 0 || !tolerate_drain)
+  in
+  if not ok then begin
+    Printf.printf
+      "FAILED: %d failed, %d lost to drain, %d lost in server\n" failed
+      drain_losses lost_in_server;
+    exit 1
+  end;
+  print_endline "ok"

@@ -10,6 +10,7 @@
      locmap check                     # verify invariants, all benchmarks
      locmap check --batch reqs.jsonl  # verify a request batch instead
      locmap batch reqs.jsonl -d 4     # serve a JSON-lines request file
+     locmap serve --port 7070 -d 4    # the same wire format over TCP
      locmap sweep -w fmm,lu -m 4x4,6x6 -d 4   # parameter cross-product *)
 
 open Cmdliner
@@ -770,6 +771,150 @@ let stats_cmd =
           --metrics).")
     Term.(const run $ file_arg $ prometheus_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: the batch wire format as a long-running TCP server
+   (lib/net). One metrics registry is shared by the service pipeline
+   and the server, so a single --metrics snapshot carries cache, pool
+   and connection/shed counters side by side — `locmap stats FILE`
+   renders all of it. *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value
+      & opt string Net.Server.default_config.Net.Server.host
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port to listen on; $(b,0) picks an ephemeral port (the \
+             bound port is printed, and written with $(b,--port-file)).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.Net.Server.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Connection cap; a connection over it gets one retryable \
+             $(i,overload) response line and is closed.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int Net.Server.default_config.Net.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission budget: requests computing at once across all \
+             connections. A request over it is shed immediately with a \
+             retryable $(i,overload) response instead of queueing.")
+  in
+  let drain_timeout_arg =
+    Arg.(
+      value
+      & opt float Net.Server.default_config.Net.Server.drain_timeout_ms
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT: how long to wait for idle connections \
+             to close before force-closing them. In-flight requests \
+             always run to completion.")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port here once listening (how scripts \
+             find an ephemeral port).")
+  in
+  let run host port max_conns max_inflight drain_timeout_ms port_file
+      domains cache_size deadline_ms max_retries degrade metrics_out
+      metrics_format trace_out det_obs =
+    let metrics =
+      match metrics_out with
+      | None -> None
+      | Some _ -> Some (Obs.Metrics.create ())
+    in
+    let tracer =
+      match trace_out with
+      | None -> None
+      | Some _ ->
+          Some
+            (Obs.Trace.create
+               ?deterministic:(if det_obs then Some 0 else None)
+               ())
+    in
+    let api =
+      Service.Api.create ~cache_capacity:cache_size ~num_domains:domains
+        ~resilience:(policy_of deadline_ms max_retries degrade) ?metrics
+        ?tracer ()
+    in
+    let config =
+      {
+        Net.Server.default_config with
+        Net.Server.host;
+        port;
+        max_conns;
+        max_inflight;
+        drain_timeout_ms;
+      }
+    in
+    let server =
+      match Net.Server.create ~config ?metrics ?tracer ~api () with
+      | s -> s
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot listen on %s:%d: %s\n" host port
+            (Unix.error_message e);
+          exit 2
+    in
+    let stop _ = Net.Server.request_stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    let bound = Net.Server.port server in
+    Printf.printf
+      "listening on %s:%d (%d domains, %d in flight, %d connections)\n%!"
+      host bound domains max_inflight max_conns;
+    (match port_file with
+    | Some f -> write_out f (string_of_int bound ^ "\n")
+    | None -> ());
+    let st = Net.Server.run server in
+    Format.eprintf "%a@." Net.Server.pp_stats st;
+    Format.eprintf "%a@." Service.Api.pp_stats (Service.Api.stats api);
+    (match (metrics_out, metrics) with
+    | Some file, Some m ->
+        let samples = Obs.Metrics.snapshot m in
+        write_out file
+          (match metrics_format with
+          | `Json -> Obs.Metrics.to_json samples ^ "\n"
+          | `Prometheus -> Obs.Metrics.to_prometheus samples)
+    | _ -> ());
+    (match (trace_out, tracer) with
+    | Some file, Some tr -> write_out file (Obs.Trace.to_jsonl tr)
+    | _ -> ());
+    Service.Api.shutdown api;
+    if st.Net.Server.lost <> 0 then begin
+      Printf.eprintf "drain lost %d admitted request(s)\n"
+        st.Net.Server.lost;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the batch wire format over TCP: JSON-lines requests in, \
+          JSON-lines responses out, with admission control and graceful \
+          drain on SIGTERM (see README, \"Network serving\").")
+    Term.(
+      const run $ host_arg $ port_arg $ max_conns_arg $ max_inflight_arg
+      $ drain_timeout_arg $ port_file_arg $ domains_arg $ cache_size_arg
+      $ deadline_arg $ max_retries_arg $ degrade_arg $ metrics_out_arg
+      $ metrics_format_arg $ trace_out_arg $ det_obs_arg)
+
 let sweep_cmd =
   let workloads_arg =
     Arg.(
@@ -933,4 +1078,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "locmap" ~version:"1.0.0" ~doc)
           [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd;
-            experiments_cmd; check_cmd; batch_cmd; sweep_cmd; stats_cmd ]))
+            experiments_cmd; check_cmd; batch_cmd; serve_cmd; sweep_cmd;
+            stats_cmd ]))

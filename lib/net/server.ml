@@ -1,0 +1,516 @@
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_conns : int;
+  max_inflight : int;
+  drain_timeout_ms : float;
+  max_line_bytes : int;
+  poll_interval_ms : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    max_conns = 32;
+    max_inflight = 8;
+    drain_timeout_ms = 5_000.;
+    max_line_bytes = Frame.default_max_line_bytes;
+    poll_interval_ms = 50.;
+  }
+
+type stats = {
+  conns_accepted : int;
+  conns_rejected : int;
+  conns_active : int;
+  frames : int;
+  requests : int;
+  admitted : int;
+  shed_inflight : int;
+  shed_draining : int;
+  malformed : int;
+  completed : int;
+  write_errors : int;
+  lost : int;
+}
+
+type instruments = {
+  i_conns_accepted : Obs.Metrics.counter;
+  i_conns_rejected : Obs.Metrics.counter;
+  i_conns_active : Obs.Metrics.gauge;
+  i_frames : Obs.Metrics.counter;
+  i_requests : Obs.Metrics.counter;
+  i_shed_inflight : Obs.Metrics.counter;
+  i_shed_draining : Obs.Metrics.counter;
+  i_malformed : Obs.Metrics.counter;
+  i_completed : Obs.Metrics.counter;
+  i_write_errors : Obs.Metrics.counter;
+  i_request_ms : Obs.Metrics.histogram;
+}
+
+let instruments im =
+  {
+    i_conns_accepted =
+      Obs.Metrics.counter im ~help:"connections accepted"
+        "locmap_net_conns_accepted_total";
+    i_conns_rejected =
+      Obs.Metrics.counter im
+        ~help:"connections refused over the connection cap"
+        "locmap_net_conns_rejected_total";
+    i_conns_active =
+      Obs.Metrics.gauge im ~help:"connections currently open"
+        "locmap_net_conns_active";
+    i_frames =
+      Obs.Metrics.counter im
+        ~help:"complete line frames received (blank/comment included)"
+        "locmap_net_frames_total";
+    i_requests =
+      Obs.Metrics.counter im ~help:"lines processed (parsed or malformed)"
+        "locmap_net_requests_total";
+    i_shed_inflight =
+      Obs.Metrics.counter im
+        ~labels:[ ("reason", "inflight") ]
+        ~help:"requests shed with Overload" "locmap_net_shed_total";
+    i_shed_draining =
+      Obs.Metrics.counter im
+        ~labels:[ ("reason", "draining") ]
+        ~help:"requests shed with Overload" "locmap_net_shed_total";
+    i_malformed =
+      Obs.Metrics.counter im
+        ~help:"lines answered with a per-line parse-error fault"
+        "locmap_net_malformed_total";
+    i_completed =
+      Obs.Metrics.counter im
+        ~help:"admitted requests answered (response write attempted)"
+        "locmap_net_completed_total";
+    i_write_errors =
+      Obs.Metrics.counter im
+        ~help:"response writes a closed peer never read"
+        "locmap_net_write_errors_total";
+    i_request_ms =
+      Obs.Metrics.histogram im
+        ~help:"admission-to-response latency of admitted requests (ms)"
+        "locmap_net_request_ms";
+  }
+
+type conn = { fd : Unix.file_descr; dom : unit Domain.t }
+
+type t = {
+  cfg : config;
+  api : Service.Api.t;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  admission : Admission.t;
+  stop : bool Atomic.t;
+  lock : Mutex.t;  (** guards [conns], [dead], [next_conn_id] *)
+  drain_lock : Mutex.t;  (** serialises {!drain}; guards [final] *)
+  conns : (int, conn) Hashtbl.t;
+  dead : int Queue.t;
+  mutable next_conn_id : int;
+  mutable acceptor : unit Domain.t option;
+  mutable final : stats option;
+  c_conns_accepted : int Atomic.t;
+  c_conns_rejected : int Atomic.t;
+  c_active : int Atomic.t;
+  c_frames : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_shed_inflight : int Atomic.t;
+  c_shed_draining : int Atomic.t;
+  c_malformed : int Atomic.t;
+  c_completed : int Atomic.t;
+  c_write_errors : int Atomic.t;
+  obs : instruments option;
+  tracer : Obs.Trace.t option;
+}
+
+let port t = t.bound_port
+let stopping t = Atomic.get t.stop
+let request_stop t = Atomic.set t.stop true
+
+(* Bump a plain stats cell and, when instrumented, its obs twin. *)
+let tick t cell inst =
+  Atomic.incr cell;
+  match t.obs with Some i -> Obs.Metrics.incr (inst i) | None -> ()
+
+let stats t =
+  let admitted = Admission.admitted_total t.admission in
+  let completed = Atomic.get t.c_completed in
+  {
+    conns_accepted = Atomic.get t.c_conns_accepted;
+    conns_rejected = Atomic.get t.c_conns_rejected;
+    conns_active = Atomic.get t.c_active;
+    frames = Atomic.get t.c_frames;
+    requests = Atomic.get t.c_requests;
+    admitted;
+    shed_inflight = Atomic.get t.c_shed_inflight;
+    shed_draining = Atomic.get t.c_shed_draining;
+    malformed = Atomic.get t.c_malformed;
+    completed;
+    write_errors = Atomic.get t.c_write_errors;
+    lost = admitted - completed - Admission.in_flight t.admission;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>connections: %d accepted, %d rejected, %d active@ requests: %d \
+     (%d frames), %d admitted, %d completed, %d lost@ shed: %d over \
+     capacity, %d while draining; %d malformed, %d write errors@]"
+    s.conns_accepted s.conns_rejected s.conns_active s.requests s.frames
+    s.admitted s.completed s.lost s.shed_inflight s.shed_draining s.malformed
+    s.write_errors
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing.                                                    *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let overload_response ~id ~scope ~limit =
+  Service.Response.error ~id ~hash:""
+    (Service.Fault.Overload { scope; limit })
+
+(* ------------------------------------------------------------------ *)
+(* Connection handler: one domain, one socket, strictly serial.        *)
+
+let handle t ~conn_id fd =
+  let cfg = t.cfg in
+  let conn_span =
+    match t.tracer with
+    | Some tr when Obs.Trace.is_enabled tr ->
+        Some (tr, Obs.Trace.root tr ~trace_id:(Printf.sprintf "conn-%d" conn_id) "conn")
+    | _ -> None
+  in
+  let reader = Frame.create ~max_line_bytes:cfg.max_line_bytes () in
+  let buf = Bytes.create 16384 in
+  let raw_line = ref 0 in
+  let next_id = ref 0 in
+  (* [alive] goes false when the peer is gone (write failed) or the fd
+     was force-closed under us during drain; either way the handler
+     winds down without touching the socket again. *)
+  let alive = ref true in
+  let respond resp =
+    match write_all fd (Service.Response.to_string resp ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        tick t t.c_write_errors (fun i -> i.i_write_errors);
+        alive := false
+  in
+  (* One processed line: parse, admit (or shed), compute, answer. The
+     response id numbers processed lines per connection and the
+     per-line fault message carries the raw (blank/comment-counting)
+     line ordinal — both exactly as `locmap batch` assigns them, which
+     is what makes socket and batch output byte-comparable. *)
+  let process line =
+    incr raw_line;
+    tick t t.c_frames (fun i -> i.i_frames);
+    let s = String.trim line in
+    if s = "" || s.[0] = '#' then ()
+    else begin
+      let id = !next_id in
+      incr next_id;
+      tick t t.c_requests (fun i -> i.i_requests);
+      let body () =
+        match Service.Request.of_string line with
+        | Error e ->
+            tick t t.c_malformed (fun i -> i.i_malformed);
+            respond
+              (Service.Response.error ~id ~hash:""
+                 (Service.Fault.Invalid_request
+                    (Printf.sprintf "line %d: %s" !raw_line e)))
+        | Ok req ->
+            if Atomic.get t.stop then begin
+              tick t t.c_shed_draining (fun i -> i.i_shed_draining);
+              respond
+                (overload_response ~id ~scope:"draining"
+                   ~limit:cfg.max_inflight)
+            end
+            else if not (Admission.try_acquire t.admission) then begin
+              tick t t.c_shed_inflight (fun i -> i.i_shed_inflight);
+              respond
+                (overload_response ~id ~scope:"inflight"
+                   ~limit:cfg.max_inflight)
+            end
+            else begin
+              (* Admitted: this request now always runs to completion
+                 — drain waits for it — and the slot is released even
+                 if the pipeline faults (the response then carries the
+                 fault; the server never re-raises). *)
+              let compute () =
+                Fun.protect
+                  ~finally:(fun () -> Admission.release t.admission)
+                  (fun () -> Service.Api.submit t.api req)
+              in
+              let r =
+                match t.obs with
+                | Some i -> Obs.Metrics.time i.i_request_ms compute
+                | None -> compute ()
+              in
+              tick t t.c_completed (fun i -> i.i_completed);
+              respond { r with Service.Response.id }
+            end
+      in
+      match conn_span with
+      | Some (tr, parent) ->
+          Obs.Trace.with_span tr ~parent "frame" (fun _ -> body ())
+      | None -> body ()
+    end
+  in
+  let process_too_long n =
+    incr raw_line;
+    tick t t.c_frames (fun i -> i.i_frames);
+    let id = !next_id in
+    incr next_id;
+    tick t t.c_requests (fun i -> i.i_requests);
+    tick t t.c_malformed (fun i -> i.i_malformed);
+    respond
+      (Service.Response.error ~id ~hash:""
+         (Service.Fault.Invalid_request
+            (Printf.sprintf "line %d: line of %d bytes exceeds the %d-byte limit"
+               !raw_line n cfg.max_line_bytes)))
+  in
+  let rec pump () =
+    if !alive then
+      match Frame.next reader with
+      | Some (Frame.Line l) ->
+          process l;
+          pump ()
+      | Some (Frame.Too_long n) ->
+          process_too_long n;
+          pump ()
+      | None ->
+          if Frame.is_closed reader then ()
+          else if Atomic.get t.stop then ()
+            (* Draining: already-buffered frames were answered above;
+               stop reading new bytes and close. *)
+          else begin
+            (match Unix.select [ fd ] [] [] (cfg.poll_interval_ms /. 1000.) with
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+            | exception Unix.Unix_error (EBADF, _, _) -> alive := false
+            | [], _, _ -> ()
+            | _ -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> Frame.close reader
+                | n -> Frame.feed reader buf 0 n
+                | exception Unix.Unix_error (EINTR, _, _) -> ()
+                | exception Unix.Unix_error (_, _, _) -> Frame.close reader));
+            pump ()
+          end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match conn_span with
+      | Some (tr, sp) -> Obs.Trace.finish tr sp
+      | None -> ());
+      close_quietly fd;
+      Atomic.decr t.c_active;
+      (match t.obs with
+      | Some i -> Obs.Metrics.add_gauge i.i_conns_active (-1)
+      | None -> ());
+      Mutex.protect t.lock (fun () -> Queue.push conn_id t.dead))
+    (fun () ->
+      (* A handler must never take the server down; unexpected
+         exceptions (a pathological socket error mid-write) drop only
+         this connection. *)
+      try pump () with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor domain.                                                    *)
+
+(* Join handler domains that announced completion. Runs on the
+   acceptor between accepts (bounding the domain backlog) and during
+   drain. *)
+let reap t =
+  let finished =
+    Mutex.protect t.lock (fun () ->
+        let ds = ref [] in
+        while not (Queue.is_empty t.dead) do
+          let id = Queue.pop t.dead in
+          match Hashtbl.find_opt t.conns id with
+          | Some c ->
+              Hashtbl.remove t.conns id;
+              ds := c.dom :: !ds
+          | None -> ()
+        done;
+        !ds)
+  in
+  List.iter Domain.join finished
+
+let acceptor_loop t () =
+  let rec loop () =
+    reap t;
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.lfd ] [] [] (t.cfg.poll_interval_ms /. 1000.) with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.lfd with
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
+              ()
+          | fd, _ ->
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              if Atomic.get t.c_active >= t.cfg.max_conns then begin
+                (* Connection-level shed: one Overload line, close.
+                   Best-effort — a peer that vanished mid-reject is
+                   not our problem. *)
+                tick t t.c_conns_rejected (fun i -> i.i_conns_rejected);
+                (try
+                   write_all fd
+                     (Service.Response.to_string
+                        (overload_response ~id:0 ~scope:"connections"
+                           ~limit:t.cfg.max_conns)
+                     ^ "\n")
+                 with Unix.Unix_error _ -> ());
+                close_quietly fd
+              end
+              else begin
+                tick t t.c_conns_accepted (fun i -> i.i_conns_accepted);
+                Atomic.incr t.c_active;
+                (match t.obs with
+                | Some i -> Obs.Metrics.add_gauge i.i_conns_active 1
+                | None -> ());
+                (* Spawn and register under one lock so the handler's
+                   completion notice (also under [t.lock]) can never
+                   precede registration. *)
+                Mutex.protect t.lock (fun () ->
+                    let id = t.next_conn_id in
+                    t.next_conn_id <- id + 1;
+                    let dom =
+                      Domain.spawn (fun () -> handle t ~conn_id:id fd)
+                    in
+                    Hashtbl.replace t.conns id { fd; dom })
+              end));
+      loop ()
+    end
+  in
+  loop ();
+  (* Stop accepting the instant drain begins: new connects get
+     ECONNREFUSED rather than a silently idle socket. *)
+  close_quietly t.lfd
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let create ?(config = default_config) ?metrics ?tracer ~api () =
+  if config.max_conns < 1 then
+    invalid_arg "Server.create: max_conns must be positive";
+  if config.poll_interval_ms <= 0. then
+    invalid_arg "Server.create: poll_interval_ms must be positive";
+  (* A dead peer must surface as a write error, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lfd config.backlog;
+      match Unix.getsockname lfd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    with e ->
+      close_quietly lfd;
+      raise e
+  in
+  let t =
+    {
+      cfg = config;
+      api;
+      lfd;
+      bound_port;
+      admission = Admission.create ?metrics ~limit:config.max_inflight ();
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      drain_lock = Mutex.create ();
+      conns = Hashtbl.create 32;
+      dead = Queue.create ();
+      next_conn_id = 0;
+      acceptor = None;
+      final = None;
+      c_conns_accepted = Atomic.make 0;
+      c_conns_rejected = Atomic.make 0;
+      c_active = Atomic.make 0;
+      c_frames = Atomic.make 0;
+      c_requests = Atomic.make 0;
+      c_shed_inflight = Atomic.make 0;
+      c_shed_draining = Atomic.make 0;
+      c_malformed = Atomic.make 0;
+      c_completed = Atomic.make 0;
+      c_write_errors = Atomic.make 0;
+      obs = Option.map instruments metrics;
+      tracer;
+    }
+  in
+  t.acceptor <- Some (Domain.spawn (acceptor_loop t));
+  t
+
+let live_conns t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+
+let drain t =
+  request_stop t;
+  Mutex.protect t.drain_lock (fun () ->
+      match t.final with
+      | Some s -> s
+      | None ->
+          (match t.acceptor with
+          | Some d ->
+              Domain.join d;
+              t.acceptor <- None
+          | None -> ());
+          let t0 = Obs.Clock.now_ns () in
+          let budget_ns =
+            Int64.of_float (t.cfg.drain_timeout_ms *. 1_000_000.)
+          in
+          let forced = ref false in
+          let rec wait () =
+            reap t;
+            match live_conns t with
+            | [] -> ()
+            | remaining ->
+                if
+                  (not !forced)
+                  && Int64.sub (Obs.Clock.now_ns ()) t0 > budget_ns
+                then begin
+                  (* Patience exhausted: shut the remaining sockets so
+                     idle handlers see EOF and wind down. A handler
+                     inside Api.submit is unaffected — its request
+                     still completes (the zero-loss guarantee); only
+                     the read side is cut short. *)
+                  forced := true;
+                  List.iter
+                    (fun c ->
+                      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+                      with Unix.Unix_error _ -> ())
+                    remaining
+                end
+                else Unix.sleepf (t.cfg.poll_interval_ms /. 1000.);
+                wait ()
+          in
+          wait ();
+          let s = stats t in
+          t.final <- Some s;
+          s)
+
+let run t =
+  while not (Atomic.get t.stop) do
+    try Unix.sleepf (t.cfg.poll_interval_ms /. 1000.)
+    with Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  drain t

@@ -1,0 +1,144 @@
+(** A long-running TCP front-end for {!Service.Api}: the gate between
+    "batch tool" and "service under live traffic".
+
+    Architecture (see DESIGN.md §10):
+
+    {v
+    clients ──TCP──► acceptor domain ──spawn──► handler domain (per conn)
+                     (select + accept,          read → Frame → parse
+                      conn cap, drain           → Admission.try_acquire
+                      flag)                     → Api.submit (Par.Pool)
+                                                → write response line
+    v}
+
+    One {e acceptor domain} owns the listening socket: it polls with a
+    short select timeout (so a stop request is noticed within ~50 ms),
+    accepts, enforces the connection cap ([max_conns] — over it, the
+    client gets one [Fault.Overload] line and a close), and spawns one
+    {e handler domain} per connection. Handlers speak the exact
+    JSON-lines wire format of [locmap batch]: frames come from
+    {!Frame} (partial reads, CRLF/LF, oversized lines), blank and
+    [#]-comment lines are skipped, a malformed line is answered with a
+    per-line [Invalid_request] response — never a dropped connection —
+    and response [id]s number the processed lines per connection, so a
+    client that pipelines a file over one connection gets byte-for-byte
+    the lines [locmap batch] would have produced.
+
+    {b Admission control}: before computing, a handler takes a slot
+    from the shared {!Admission} budget ([max_inflight]). No slot →
+    the request is {e shed}: an immediate, retryable [Fault.Overload]
+    response (scope ["inflight"]) that costs microseconds. Because
+    each connection is handled serially, TCP backpressure naturally
+    throttles a client that outruns its own connection; the admission
+    budget bounds what reaches the {!Par.Pool} across connections, so
+    accepted-request latency stays bounded at any offered load
+    (bench/loadgen_bench.exe demonstrates both effects).
+
+    {b Graceful drain}: {!request_stop} (async-signal-safe — the
+    [SIGTERM] handler of [locmap serve] calls exactly this) flips one
+    atomic. The acceptor stops accepting and closes the listen socket;
+    handlers finish the request they are computing, answer any frames
+    already buffered with [Overload] (scope ["draining"]), stop
+    reading, and close. {!drain} then joins everything, force-closing
+    only connections idle past [drain_timeout_ms] (a request in flight
+    is always allowed to finish — that is the zero-loss guarantee:
+    after drain, [admitted = completed]). Metrics are left fully
+    consistent for a final snapshot; nothing is dropped.
+
+    {b Observability} ([?metrics]): [locmap_net_conns_accepted_total],
+    [locmap_net_conns_rejected_total], [locmap_net_conns_active]
+    (gauge), [locmap_net_frames_total],
+    [locmap_net_requests_total], [locmap_net_shed_total{reason}]
+    (["inflight"]/["draining"]), [locmap_net_malformed_total],
+    [locmap_net_completed_total], [locmap_net_write_errors_total],
+    the admission instruments of {!Admission}, and
+    [locmap_net_request_ms] (admission-to-response latency histogram).
+    [?tracer] opens one root span per connection (["conn"], trace id
+    ["conn-<ordinal>"]) with one child ["frame"] span per processed
+    line; the per-request/attempt/phase spans of {!Service.Api} hang
+    off the request hash as usual.
+
+    {b Thread safety}: fully thread-safe. The stop flag and all stats
+    counters are atomics; the connection table is mutex-protected;
+    {!stats}, {!request_stop} and {!port} may be called from any
+    domain (or a signal handler, for {!request_stop}). Sockets are
+    owned by exactly one handler each; {!drain}'s force-close is the
+    single documented exception and handlers treat a concurrently
+    closed fd as EOF. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 = ephemeral; see {!port} for the actual one *)
+  backlog : int;
+  max_conns : int;  (** connection cap (each holds a handler domain) *)
+  max_inflight : int;  (** admission budget fed to {!Admission} *)
+  drain_timeout_ms : float;
+      (** how long {!drain} waits for idle connections before
+          force-closing them; in-flight computation always completes *)
+  max_line_bytes : int;  (** per-line cap fed to {!Frame} *)
+  poll_interval_ms : float;
+      (** select granularity — the latency bound on noticing a stop
+          request or a newly readable socket *)
+}
+
+val default_config : config
+(** 127.0.0.1:0 (ephemeral), backlog 64, 32 connections, 8 in flight,
+    5 s drain timeout, {!Frame.default_max_line_bytes}, 50 ms poll. *)
+
+type stats = {
+  conns_accepted : int;
+  conns_rejected : int;  (** over [max_conns]: one Overload line, close *)
+  conns_active : int;
+  frames : int;  (** complete frames seen (blank/comment included) *)
+  requests : int;  (** processed lines (parsed or malformed) *)
+  admitted : int;  (** requests that took an admission slot *)
+  shed_inflight : int;  (** Overload: admission budget full *)
+  shed_draining : int;  (** Overload: arrived during drain *)
+  malformed : int;  (** per-line parse errors answered in place *)
+  completed : int;  (** admitted requests answered (write attempted) *)
+  write_errors : int;  (** responses a dead peer never read *)
+  lost : int;  (** [admitted - completed - in_flight]; 0 after drain *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
+  api:Service.Api.t ->
+  unit ->
+  t
+(** Binds, listens and spawns the acceptor domain; serving starts
+    immediately. The server borrows [api] (it does not shut it down).
+    [SIGPIPE] is set to ignore process-wide — a dead peer must surface
+    as a write error, not kill the server. Raises [Unix.Unix_error]
+    when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (resolves port 0). *)
+
+val request_stop : t -> unit
+(** Flips the stop atomic: stop accepting, start draining. Safe from
+    any domain and from a signal handler; idempotent; returns
+    immediately (pair with {!drain} or {!run}). *)
+
+val stopping : t -> bool
+
+val drain : t -> stats
+(** {!request_stop}, then wait: joins the acceptor, waits for handlers
+    to finish in-flight work (force-closing connections only once
+    [drain_timeout_ms] has passed), joins them, closes the listen
+    socket and returns the final stats. Idempotent — later calls
+    return the same final stats. *)
+
+val run : t -> stats
+(** Blocks until {!request_stop} is called (e.g. from a signal
+    handler), then {!drain}s. *)
+
+val stats : t -> stats
+(** A consistent-enough live view (each field is individually exact;
+    cross-field invariants like [lost = 0] are only guaranteed after
+    {!drain}). *)
+
+val pp_stats : Format.formatter -> stats -> unit

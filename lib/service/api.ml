@@ -12,6 +12,7 @@ let fault_kinds =
     "worker_crashed";
     "transient";
     "internal";
+    "overload";
   ]
 
 type instruments = {

@@ -5,16 +5,17 @@ type t =
   | Worker_crashed of string
   | Transient of string
   | Internal of string
+  | Overload of { scope : string; limit : int }
 
 exception Error of t
 
 exception Crash = Par.Pool.Crash
 
-let retryable = function Transient _ -> true | _ -> false
+let retryable = function Transient _ | Overload _ -> true | _ -> false
 
 let degradable = function
   | Deadline_exceeded _ | Worker_crashed _ | Transient _ | Internal _ -> true
-  | Invalid_request _ | Unknown_workload _ -> false
+  | Invalid_request _ | Unknown_workload _ | Overload _ -> false
 
 let kind = function
   | Invalid_request _ -> "invalid_request"
@@ -23,6 +24,7 @@ let kind = function
   | Worker_crashed _ -> "worker_crashed"
   | Transient _ -> "transient"
   | Internal _ -> "internal"
+  | Overload _ -> "overload"
 
 let message = function
   | Invalid_request m | Worker_crashed m | Transient m | Internal m -> m
@@ -31,6 +33,11 @@ let message = function
   | Deadline_exceeded { phase; budget_ms } ->
       (* %g keeps the rendering free of locale/precision surprises. *)
       Printf.sprintf "deadline of %gms exceeded at phase %S" budget_ms phase
+  | Overload { scope = "draining"; _ } ->
+      "server draining: not accepting new requests"
+  | Overload { scope; limit } ->
+      Printf.sprintf "server over capacity (%s limit %d); retry with backoff"
+        scope limit
 
 let to_string f = kind f ^ ": " ^ message f
 
@@ -43,6 +50,14 @@ let to_json f =
       Json.Obj
         (common
         @ [ ("phase", Json.String phase); ("budget_ms", Json.Float budget_ms) ])
+  | Overload { scope; limit } ->
+      Json.Obj
+        (common
+        @ [
+            ("scope", Json.String scope);
+            ("limit", Json.Int limit);
+            ("retryable", Json.Bool true);
+          ])
   | _ -> Json.Obj common
 
 let of_exn = function

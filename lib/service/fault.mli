@@ -1,7 +1,7 @@
 (** Structured fault taxonomy for the serving layer.
 
-    Every service-reachable failure is classified into one of six kinds
-    so that callers — and the {!Resilience} machinery — can decide
+    Every service-reachable failure is classified into one of seven
+    kinds so that callers — and the {!Resilience} machinery — can decide
     mechanically whether to retry, degrade, or report:
 
     {v
@@ -13,6 +13,7 @@
     Worker_crashed     no         yes         a pool domain died mid-task
     Transient          yes        yes         injected/externally flaky step
     Internal           no         yes         invariant breach in the pipeline
+    Overload           yes        no          server shed the request (Net)
     v}
 
     [retryable] faults are worth re-running unchanged (bounded retry with
@@ -21,6 +22,12 @@
     was well-formed. Caller errors ([Invalid_request],
     [Unknown_workload]) are neither: no amount of retrying fixes them and
     no fallback mapping exists for a workload we cannot even synthesise.
+    [Overload] is the odd one out: the request was fine, the {e server}
+    was not — [Net.Server] answers it without running (or degrading)
+    anything, because the whole point of shedding is that a rejection
+    costs microseconds. It is retryable {e by the client, after backing
+    off}, ideally against another replica; the server itself never
+    retries it.
 
     {b Raise-site audit} (PR 2). Of the ~89 [failwith]/[invalid_arg]/
     [raise] sites in [lib/], the service-reachable ones funnel through
@@ -58,6 +65,14 @@ type t =
       (** A transient fault: retrying the same request may succeed. *)
   | Internal of string
       (** An internal invariant failed; the request was well-formed. *)
+  | Overload of { scope : string; limit : int }
+      (** The server shed this request under load instead of running
+          it. [scope] names the exhausted budget — ["inflight"] (the
+          admission budget of [Net.Admission]), ["connections"] (the
+          acceptor's connection cap) or ["draining"] (the server is
+          shutting down) — and [limit] its configured size. The
+          payload deliberately excludes momentary occupancy so
+          responses stay byte-deterministic. *)
 
 exception Error of t
 (** Carrier for aborting a pipeline run from a phase hook or injection
@@ -81,7 +96,9 @@ val to_string : t -> string
 
 val to_json : t -> Json.t
 (** [{"kind": .., "message": ..}]; [Deadline_exceeded] additionally
-    carries ["phase"] and ["budget_ms"]. Deterministic. *)
+    carries ["phase"] and ["budget_ms"], [Overload] carries ["scope"],
+    ["limit"] and ["retryable": true] (the client's back-off cue).
+    Deterministic. *)
 
 val of_exn : exn -> t
 (** Classify an exception escaping the pipeline: [Error f] unwraps to

@@ -140,6 +140,10 @@ let test_pool_reachable_sources_clean () =
             locate [ "../lib/service"; "lib/service" ];
             locate [ "../lib/harness"; "lib/harness" ];
             locate [ "../lib/par"; "lib/par" ];
+            (* The socket server's handler domains run concurrently
+               with the acceptor and the pool: lib/net carries
+               thread-safety contracts and must stay lint-clean. *)
+            locate [ "../lib/net"; "lib/net" ];
             (* The analysis fast path runs on pool workers: its modules
                carry thread-safety contracts and must stay lint-clean. *)
             locate [ "../lib/core/analysis.ml"; "lib/core/analysis.ml" ];

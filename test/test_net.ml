@@ -1,0 +1,647 @@
+(* lib/net: JSON-lines framing edge cases, the admission budget, the
+   Overload fault contract, and the server end to end over real
+   sockets — byte-equivalence with `locmap batch`, load shedding,
+   graceful drain, abrupt disconnects and the connection cap.
+
+   All synchronisation is by polling server stats (this machine may
+   have a single core, so nothing here assumes parallel progress). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Frame                                                               *)
+
+let frames_of_feeds ?max_line_bytes feeds =
+  let t = Net.Frame.create ?max_line_bytes () in
+  let out = ref [] in
+  let drain () =
+    let rec go () =
+      match Net.Frame.next t with
+      | Some f ->
+          out := f :: !out;
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  List.iter
+    (fun s ->
+      Net.Frame.feed t (Bytes.of_string s) 0 (String.length s);
+      drain ())
+    feeds;
+  Net.Frame.close t;
+  drain ();
+  List.rev !out
+
+let frame_t =
+  let pp ppf = function
+    | Net.Frame.Line l -> Format.fprintf ppf "Line %S" l
+    | Net.Frame.Too_long n -> Format.fprintf ppf "Too_long %d" n
+  in
+  Alcotest.testable pp ( = )
+
+let test_frame_split_points () =
+  (* The same byte stream must frame identically whatever the read
+     boundaries — including one byte at a time. *)
+  let stream = "alpha\nbeta\r\n\ngamma" in
+  let expect =
+    [
+      Net.Frame.Line "alpha";
+      Net.Frame.Line "beta";
+      Net.Frame.Line "";
+      Net.Frame.Line "gamma" (* unterminated final line *);
+    ]
+  in
+  check (Alcotest.list frame_t) "whole buffer" expect
+    (frames_of_feeds [ stream ]);
+  check (Alcotest.list frame_t) "byte at a time" expect
+    (frames_of_feeds
+       (List.init (String.length stream) (fun i -> String.make 1 stream.[i])));
+  (* CR and LF split across a chunk boundary must still count as one
+     CRLF terminator. *)
+  check (Alcotest.list frame_t) "CRLF split across chunks"
+    [ Net.Frame.Line "ab"; Net.Frame.Line "cd" ]
+    (frames_of_feeds [ "ab\r"; "\ncd\n" ]);
+  (* A lone CR is data, not a terminator. *)
+  check (Alcotest.list frame_t) "lone CR is data"
+    [ Net.Frame.Line "a\rb" ]
+    (frames_of_feeds [ "a\rb\n" ])
+
+let test_frame_oversized () =
+  (* An oversized line is swallowed, reported with its full length, and
+     the framer resyncs on the next newline. *)
+  check (Alcotest.list frame_t) "oversize then resync"
+    [ Net.Frame.Too_long 10; Net.Frame.Line "ok" ]
+    (frames_of_feeds ~max_line_bytes:8 [ "0123456789\nok\n" ]);
+  (* EOF in the middle of an oversized line still reports it. *)
+  check (Alcotest.list frame_t) "oversize cut by EOF"
+    [ Net.Frame.Too_long 12 ]
+    (frames_of_feeds ~max_line_bytes:8 [ "0123456789AB" ]);
+  check int_t "buffered bytes visible"
+    3
+    (let t = Net.Frame.create () in
+     Net.Frame.feed t (Bytes.of_string "abc") 0 3;
+     Net.Frame.buffered_bytes t)
+
+let test_frame_contract () =
+  let t = Net.Frame.create () in
+  Net.Frame.close t;
+  check bool_t "closed" true (Net.Frame.is_closed t);
+  (match Net.Frame.feed t (Bytes.of_string "x") 0 1 with
+  | () -> Alcotest.fail "feed after close must raise"
+  | exception Invalid_argument _ -> ());
+  (match Net.Frame.create ~max_line_bytes:0 () with
+  | _ -> Alcotest.fail "max_line_bytes 0 must raise"
+  | exception Invalid_argument _ -> ());
+  let t = Net.Frame.create () in
+  match Net.Frame.feed t (Bytes.of_string "xy") 1 2 with
+  | () -> Alcotest.fail "out-of-bounds feed must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let test_admission_basic () =
+  let a = Net.Admission.create ~limit:2 () in
+  check int_t "limit" 2 (Net.Admission.limit a);
+  check bool_t "first" true (Net.Admission.try_acquire a);
+  check bool_t "second" true (Net.Admission.try_acquire a);
+  check bool_t "third is refused" false (Net.Admission.try_acquire a);
+  check int_t "in flight" 2 (Net.Admission.in_flight a);
+  Net.Admission.release a;
+  check bool_t "slot freed" true (Net.Admission.try_acquire a);
+  Net.Admission.release a;
+  Net.Admission.release a;
+  check int_t "drained" 0 (Net.Admission.in_flight a);
+  check int_t "admitted total" 3 (Net.Admission.admitted_total a);
+  (match Net.Admission.release a with
+  | () -> Alcotest.fail "release without a slot must raise"
+  | exception Invalid_argument _ -> ());
+  match Net.Admission.create ~limit:0 () with
+  | _ -> Alcotest.fail "limit 0 must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_admission_hammer () =
+  (* 4 domains fight for 3 slots; occupancy must never exceed the
+     limit and the books must balance exactly at the end. *)
+  let limit = 3 in
+  let a = Net.Admission.create ~limit () in
+  let over = Atomic.make false in
+  let admitted = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 500 do
+      if Net.Admission.try_acquire a then begin
+        Atomic.incr admitted;
+        if Net.Admission.in_flight a > limit then Atomic.set over true;
+        Net.Admission.release a
+      end
+    done
+  in
+  let doms = Array.init 4 (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join doms;
+  check bool_t "never over the limit" false (Atomic.get over);
+  check int_t "all slots returned" 0 (Net.Admission.in_flight a);
+  check int_t "admitted bookkeeping" (Atomic.get admitted)
+    (Net.Admission.admitted_total a)
+
+(* ------------------------------------------------------------------ *)
+(* The Overload fault contract                                         *)
+
+let test_overload_fault () =
+  let f = Service.Fault.Overload { scope = "inflight"; limit = 8 } in
+  check bool_t "retryable" true (Service.Fault.retryable f);
+  check bool_t "never degradable" false (Service.Fault.degradable f);
+  check string_t "kind" "overload" (Service.Fault.kind f);
+  let j = Service.Json.to_string (Service.Fault.to_json f) in
+  List.iter
+    (fun needle ->
+      let ok =
+        let nl = String.length needle and jl = String.length j in
+        let rec at i = i + nl <= jl && (String.sub j i nl = needle || at (i + 1)) in
+        at 0
+      in
+      if not ok then Alcotest.failf "missing %S in %s" needle j)
+    [
+      {|"kind":"overload"|};
+      {|"scope":"inflight"|};
+      {|"limit":8|};
+      {|"retryable":true|};
+    ];
+  check string_t "draining message"
+    "server draining: not accepting new requests"
+    (Service.Fault.message
+       (Service.Fault.Overload { scope = "draining"; limit = 4 }))
+
+(* ------------------------------------------------------------------ *)
+(* Socket test harness                                                 *)
+
+let wait_until ?(timeout_s = 20.) what f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if not (f ()) then
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timed out waiting for %s" what
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_string fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* Read response lines until [expect] have arrived or, with
+   [until_eof], until the server closes; bounded by a deadline so a
+   hung server fails the test instead of wedging it. *)
+let read_lines ?(timeout_s = 30.) ?(until_eof = false) ~expect fd =
+  let reader = Net.Frame.create () in
+  let buf = Bytes.create 4096 in
+  let lines = ref [] in
+  let count = ref 0 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let done_ () =
+    if until_eof then Net.Frame.is_closed reader
+    else !count >= expect || Net.Frame.is_closed reader
+  in
+  while not (done_ ()) do
+    if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out after %d/%d response lines" !count expect;
+    (match Unix.select [ fd ] [] [] 0.1 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> Net.Frame.close reader
+        | n -> Net.Frame.feed reader buf 0 n
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+            Net.Frame.close reader));
+    let rec drain () =
+      match Net.Frame.next reader with
+      | Some (Net.Frame.Line l) ->
+          lines := l :: !lines;
+          incr count;
+          drain ()
+      | Some (Net.Frame.Too_long _) -> drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  if !count < expect then
+    Alcotest.failf "connection closed after %d/%d response lines" !count
+      expect;
+  List.rev !lines
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let json_member_string line path =
+  match Service.Json.of_string line with
+  | Error e -> Alcotest.failf "bad response %s: %s" line e
+  | Ok j ->
+      let rec walk j = function
+        | [] -> (
+            match Service.Json.to_str j with
+            | Ok s -> s
+            | Error e -> Alcotest.failf "%s: %s" line e)
+        | name :: rest -> (
+            match Service.Json.member name j with
+            | Some v -> walk v rest
+            | None -> Alcotest.failf "missing %S in %s" name line)
+      in
+      walk j path
+
+let response_is_ok line =
+  match Service.Json.of_string line with
+  | Ok j -> (
+      match Option.map Service.Json.to_bool (Service.Json.member "ok" j) with
+      | Some (Ok b) -> b
+      | _ -> false)
+  | Error _ -> false
+
+let with_server ?(config = Net.Server.default_config) ?injection
+    ?(resilience = Service.Resilience.default) ?(domains = 2) f =
+  let api =
+    Service.Api.create ~cache_capacity:64 ~num_domains:domains ~resilience
+      ?injection ()
+  in
+  let server = Net.Server.create ~config ~api () in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Net.Server.drain server);
+      Service.Api.shutdown api)
+    (fun () -> f server)
+
+let req ?(scale = 0.05) name =
+  Service.Json.to_string
+    (Service.Request.to_json (Service.Request.make ~scale name))
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip equivalence with `locmap batch`                          *)
+
+(* The exact reassembly `locmap batch` performs (bin/locmap_cli.ml):
+   raw 1-based line numbers in malformed-line messages, response ids
+   numbering the processed (non-blank, non-comment) lines, responses
+   in line order. *)
+let batch_reference lines ~injection ~resilience =
+  let api =
+    Service.Api.create ~cache_capacity:64 ~num_domains:2 ~resilience
+      ~injection ()
+  in
+  let parsed =
+    List.mapi (fun i line -> (i + 1, line)) lines
+    |> List.filter (fun (_, line) ->
+           let s = String.trim line in
+           s <> "" && s.[0] <> '#')
+    |> List.map (fun (ln, line) ->
+           match Service.Request.of_string line with
+           | Ok r -> Ok r
+           | Error e ->
+               Error
+                 (Service.Fault.Invalid_request
+                    (Printf.sprintf "line %d: %s" ln e)))
+  in
+  let valid =
+    List.filter_map (function Ok r -> Some r | Error _ -> None) parsed
+  in
+  let responses = Service.Api.submit_batch api (Array.of_list valid) in
+  Service.Api.shutdown api;
+  let next_ok = ref 0 in
+  List.mapi
+    (fun i p ->
+      match p with
+      | Ok _ ->
+          let r = responses.(!next_ok) in
+          incr next_ok;
+          Service.Response.to_string { r with Service.Response.id = i }
+      | Error f ->
+          Service.Response.to_string (Service.Response.error ~id:i ~hash:"" f))
+    parsed
+
+let equivalence_lines () =
+  [
+    req "moldyn";
+    "# a comment the server must skip";
+    req "fmm";
+    "this is not json";
+    "";
+    req "moldyn" (* duplicate: cache hit on the server path *);
+    {|{"workload": 42}|};
+    req "swim";
+  ]
+
+(* Only index-independent injection actions: Fail_rate's coin is pure
+   in (site, key, attempt), so the serial per-line submits of the
+   server and the deduplicated batch submit draw identical outcomes.
+   (Fail_nth keys on the batch todo index and would diverge by
+   construction.) *)
+let chaos_injection () =
+  Service.Fault_injection.create ~seed:11
+    [
+      ( "compute",
+        Service.Fault_injection.Fail_rate
+          (0.4, Service.Fault.Transient "injected chaos") );
+      ("mapper.balance", Service.Fault_injection.Slow 1.);
+    ]
+
+let run_equivalence ~injection ~resilience () =
+  let lines = equivalence_lines () in
+  let expected = batch_reference lines ~injection ~resilience in
+  let config =
+    { Net.Server.default_config with Net.Server.max_inflight = 2 }
+  in
+  with_server ~config ~injection ~resilience (fun server ->
+      let fd = connect (Net.Server.port server) in
+      (* Mixed LF/CRLF terminators, written in 7-byte slices so the
+         server sees partial reads across every buffer boundary. *)
+      let wire =
+        String.concat ""
+          (List.mapi
+             (fun i l -> l ^ if i mod 2 = 0 then "\n" else "\r\n")
+             lines)
+      in
+      let len = String.length wire in
+      let i = ref 0 in
+      while !i < len do
+        let n = min 7 (len - !i) in
+        send_string fd (String.sub wire !i n);
+        !i + n |> ( := ) i
+      done;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let got = read_lines ~until_eof:true ~expect:(List.length expected) fd in
+      close_quietly fd;
+      check (Alcotest.list string_t) "byte-identical with locmap batch"
+        expected got;
+      let st = Net.Server.stats server in
+      check int_t "malformed lines answered in place" 2
+        st.Net.Server.malformed;
+      check int_t "frames include blank and comment" (List.length lines)
+        st.Net.Server.frames)
+
+let test_roundtrip_equivalence () =
+  run_equivalence ~injection:Service.Fault_injection.none
+    ~resilience:Service.Resilience.default ()
+
+let test_roundtrip_equivalence_chaos () =
+  run_equivalence ~injection:(chaos_injection ())
+    ~resilience:
+      {
+        Service.Resilience.default with
+        Service.Resilience.max_retries = 1;
+        degrade = true;
+      }
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Oversized wire lines                                                *)
+
+let test_oversized_line_on_wire () =
+  let config =
+    { Net.Server.default_config with Net.Server.max_line_bytes = 1024 }
+  in
+  with_server ~config (fun server ->
+      let fd = connect (Net.Server.port server) in
+      send_string fd (String.make 4000 'x');
+      send_string fd "\n";
+      send_string fd (req "moldyn" ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match read_lines ~expect:2 fd with
+      | [ first; second ] ->
+          check string_t "oversize is invalid_request" "invalid_request"
+            (json_member_string first [ "error"; "kind" ]);
+          let msg = json_member_string first [ "error"; "message" ] in
+          if
+            not
+              (String.length msg >= 7
+              && String.sub msg 0 7 = "line 1:")
+          then Alcotest.failf "unexpected message %S" msg;
+          check bool_t "connection survives, next line served" true
+            (response_is_ok second)
+      | other ->
+          Alcotest.failf "expected 2 lines, got %d" (List.length other));
+      close_quietly fd)
+
+(* ------------------------------------------------------------------ *)
+(* Load shedding                                                       *)
+
+let test_overload_shed () =
+  (* One admission slot, slow compute: while connection A computes,
+     connection B's request must bounce immediately with a retryable
+     overload fault — and A's request must still complete. *)
+  let config =
+    { Net.Server.default_config with Net.Server.max_inflight = 1 }
+  in
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 800.) ]
+  in
+  with_server ~config ~injection ~domains:1 (fun server ->
+      let a = connect (Net.Server.port server) in
+      send_string a (req "moldyn" ^ "\n");
+      wait_until "request A admitted" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted = 1);
+      let b = connect (Net.Server.port server) in
+      send_string b (req "fmm" ^ "\n");
+      (match read_lines ~expect:1 b with
+      | [ line ] ->
+          check string_t "B is shed" "overload"
+            (json_member_string line [ "error"; "kind" ]);
+          check string_t "with the inflight scope" "inflight"
+            (json_member_string line [ "error"; "scope" ])
+      | _ -> assert false);
+      (match read_lines ~expect:1 a with
+      | [ line ] -> check bool_t "A still served" true (response_is_ok line)
+      | _ -> assert false);
+      close_quietly a;
+      close_quietly b;
+      let st = Net.Server.stats server in
+      check int_t "one shed recorded" 1 st.Net.Server.shed_inflight)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain                                                      *)
+
+let test_graceful_drain () =
+  (* Three in-flight requests; stop mid-compute. Every admitted
+     request must be answered, the final books must show zero lost,
+     and the listen socket must refuse new connections. *)
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.max_inflight = 4;
+      drain_timeout_ms = 10_000.;
+    }
+  in
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 300.) ]
+  in
+  with_server ~config ~injection ~domains:4 (fun server ->
+      let port = Net.Server.port server in
+      let conns =
+        List.map
+          (fun name ->
+            let fd = connect port in
+            send_string fd (req name ^ "\n");
+            fd)
+          [ "moldyn"; "fmm"; "swim" ]
+      in
+      wait_until "all three admitted" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted = 3);
+      Net.Server.request_stop server;
+      check bool_t "stopping" true (Net.Server.stopping server);
+      (* Every in-flight request still gets its real answer. *)
+      List.iter
+        (fun fd ->
+          match read_lines ~expect:1 fd with
+          | [ line ] ->
+              check bool_t "drained request answered" true
+                (response_is_ok line)
+          | _ -> assert false)
+        conns;
+      let st = Net.Server.drain server in
+      check int_t "zero admitted requests lost" 0 st.Net.Server.lost;
+      check int_t "all three completed" 3 st.Net.Server.completed;
+      check int_t "no connections left" 0 st.Net.Server.conns_active;
+      List.iter close_quietly conns;
+      (* The drained server refuses new connections outright. *)
+      match connect port with
+      | fd ->
+          close_quietly fd;
+          Alcotest.fail "expected connection refused after drain"
+      | exception Unix.Unix_error (ECONNREFUSED, _, _) -> ())
+
+let test_drain_sheds_buffered_frames () =
+  (* A frame that is already buffered when the stop lands is answered
+     with a retryable draining fault, not silently dropped. *)
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 500.) ]
+  in
+  with_server ~injection ~domains:1 (fun server ->
+      let fd = connect (Net.Server.port server) in
+      (* Two pipelined requests on one connection: the first computes
+         (slowly), the second waits in the handler's framer. *)
+      send_string fd (req "moldyn" ^ "\n" ^ req "fmm" ^ "\n");
+      wait_until "first admitted" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted >= 1);
+      Net.Server.request_stop server;
+      (match read_lines ~expect:2 fd with
+      | [ first; second ] ->
+          check bool_t "in-flight request completes" true
+            (response_is_ok first);
+          check string_t "buffered request shed as draining" "draining"
+            (json_member_string second [ "error"; "scope" ])
+      | _ -> assert false);
+      let st = Net.Server.drain server in
+      check int_t "books balance" 0 st.Net.Server.lost;
+      check int_t "one draining shed" 1 st.Net.Server.shed_draining;
+      close_quietly fd)
+
+(* ------------------------------------------------------------------ *)
+(* Abrupt client disconnect                                            *)
+
+let test_abrupt_disconnect () =
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 200.) ]
+  in
+  with_server ~injection (fun server ->
+      let port = Net.Server.port server in
+      let fd = connect port in
+      send_string fd (req "moldyn" ^ "\n");
+      wait_until "request admitted" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted = 1);
+      (* Vanish mid-compute: the server must complete the request,
+         swallow the failed write, and keep serving others. *)
+      Unix.close fd;
+      wait_until "request completed anyway" (fun () ->
+          (Net.Server.stats server).Net.Server.completed = 1);
+      wait_until "dead connection reaped" (fun () ->
+          (Net.Server.stats server).Net.Server.conns_active = 0);
+      let fd2 = connect port in
+      send_string fd2 (req "fmm" ^ "\n");
+      (match read_lines ~expect:1 fd2 with
+      | [ line ] ->
+          check bool_t "server keeps serving" true (response_is_ok line)
+      | _ -> assert false);
+      close_quietly fd2;
+      let st = Net.Server.stats server in
+      check int_t "no lost requests" 0 st.Net.Server.lost)
+
+(* ------------------------------------------------------------------ *)
+(* Connection cap                                                      *)
+
+let test_connection_cap () =
+  let config =
+    { Net.Server.default_config with Net.Server.max_conns = 1 }
+  in
+  with_server ~config (fun server ->
+      let port = Net.Server.port server in
+      let a = connect port in
+      wait_until "first connection accepted" (fun () ->
+          (Net.Server.stats server).Net.Server.conns_accepted = 1);
+      let b = connect port in
+      (match read_lines ~until_eof:true ~expect:1 b with
+      | [ line ] ->
+          check string_t "second connection bounced" "overload"
+            (json_member_string line [ "error"; "kind" ]);
+          check string_t "with the connections scope" "connections"
+            (json_member_string line [ "error"; "scope" ])
+      | other ->
+          Alcotest.failf "expected 1 reject line, got %d" (List.length other));
+      close_quietly b;
+      (* The accepted connection still works. *)
+      send_string a (req "moldyn" ^ "\n");
+      (match read_lines ~expect:1 a with
+      | [ line ] -> check bool_t "A served" true (response_is_ok line)
+      | _ -> assert false);
+      close_quietly a;
+      let st = Net.Server.stats server in
+      check int_t "reject recorded" 1 st.Net.Server.conns_rejected)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "split points" `Quick test_frame_split_points;
+          Alcotest.test_case "oversized lines" `Quick test_frame_oversized;
+          Alcotest.test_case "contract" `Quick test_frame_contract;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "basic" `Quick test_admission_basic;
+          Alcotest.test_case "hammer" `Quick test_admission_hammer;
+        ] );
+      ( "fault",
+        [ Alcotest.test_case "overload contract" `Quick test_overload_fault ] );
+      ( "server",
+        [
+          Alcotest.test_case "round-trip equivalence" `Quick
+            test_roundtrip_equivalence;
+          Alcotest.test_case "round-trip equivalence under chaos" `Quick
+            test_roundtrip_equivalence_chaos;
+          Alcotest.test_case "oversized wire line" `Quick
+            test_oversized_line_on_wire;
+          Alcotest.test_case "overload shed" `Quick test_overload_shed;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "drain sheds buffered frames" `Quick
+            test_drain_sheds_buffered_frames;
+          Alcotest.test_case "abrupt disconnect" `Quick
+            test_abrupt_disconnect;
+          Alcotest.test_case "connection cap" `Quick test_connection_cap;
+        ] );
+    ]
