@@ -4,7 +4,7 @@
         bench-resilience bench-resilience-smoke bench-verify \
         bench-analysis bench-analysis-smoke bench-obs bench-obs-smoke \
         bench-loadgen bench-loadgen-smoke serve-smoke \
-        chaos sweep lint fmt fmt-check verify clean
+        chaos chaos-net sweep lint fmt fmt-check verify clean
 
 all:
 	dune build
@@ -113,7 +113,22 @@ chaos:
 	  CHAOS_SEED=$$seed dune exec test/test_resilience.exe || exit 1; \
 	done
 
-# Small end-to-end sweep through the service pool.
+# Socket-chaos gate: the loadgen drives a self-hosted server whose
+# socket ops are wrapped in seeded fault injection (short reads/writes,
+# trickle, mid-stream resets) across three fixed seeds, with per-client
+# quotas and the circuit breaker armed. The loadgen reconnects through
+# resets (--tolerate-resets accepts the stranded sends), but the
+# server-side zero-loss invariant is never relaxed: any admitted
+# request that goes unanswered fails the run.
+chaos-net:
+	dune build bench/loadgen_bench.exe
+	@for seed in 7 42 1337; do \
+	  echo "== chaos-net seed=$$seed =="; \
+	  ./_build/default/bench/loadgen_bench.exe --smoke \
+	    --chaos "seed=$$seed,short=0.3,reset=0.25,reset_bytes=768,trickle=0.1" \
+	    --breaker --tolerate-resets || exit 1; \
+	done; \
+	echo "chaos-net ok: 3 seeds, clean drains, zero admitted requests lost"
 sweep:
 	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
 

@@ -832,9 +832,71 @@ let serve_cmd =
             "Write the bound port here once listening (how scripts \
              find an ephemeral port).")
   in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt float Net.Server.default_config.Net.Server.idle_timeout_ms
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Close a connection that completes no request line within \
+             this deadline — silent or byte-trickling (slowloris) — \
+             after answering with a retryable $(i,overload) line \
+             (scope $(i,idle)). $(b,0) disables.")
+  in
+  let quota_rate_arg =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "quota-rate" ] ~docv:"R"
+          ~doc:
+            "Per-client token-bucket rate (requests/second, keyed by \
+             peer address); a request over quota is shed with scope \
+             $(i,quota) before it can touch the admission budget. \
+             $(b,0) (default) disables quotas.")
+  in
+  let quota_burst_arg =
+    Arg.(
+      value
+      & opt float Net.Quota.default_config.Net.Quota.burst
+      & info [ "quota-burst" ] ~docv:"N"
+          ~doc:"Token-bucket capacity (tolerated burst) per client.")
+  in
+  let breaker_arg =
+    Arg.(
+      value & flag
+      & info [ "breaker" ]
+          ~doc:
+            "Enable the overload circuit breaker: under a sustained \
+             shed/fault rate the server trips into brownout — cache \
+             hits and cheap fallback mappings only, fresh compute \
+             fast-failed with scope $(i,brownout) — and probes its \
+             way back once the load drops.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded socket fault injection for chaos testing \
+             (comma-separated $(i,key=value): $(b,seed), $(b,short), \
+             $(b,stall), $(b,stall_ms), $(b,reset), $(b,reset_bytes), \
+             $(b,trickle)). Decisions are pure in the seed and the \
+             connection ordinal, so a chaos run replays exactly.")
+  in
   let run host port max_conns max_inflight drain_timeout_ms port_file
+      idle_timeout_ms quota_rate quota_burst breaker chaos_spec
       domains cache_size deadline_ms max_retries degrade metrics_out
       metrics_format trace_out det_obs =
+    let chaos =
+      if chaos_spec = "" then Net.Chaos.none
+      else
+        match Net.Chaos.of_spec chaos_spec with
+        | Ok p -> p
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            exit 2
+    in
     let metrics =
       match metrics_out with
       | None -> None
@@ -854,6 +916,16 @@ let serve_cmd =
         ~resilience:(policy_of deadline_ms max_retries degrade) ?metrics
         ?tracer ()
     in
+    let quota =
+      if quota_rate <= 0. then None
+      else
+        Some
+          {
+            Net.Quota.default_config with
+            Net.Quota.rate = quota_rate;
+            burst = quota_burst;
+          }
+    in
     let config =
       {
         Net.Server.default_config with
@@ -862,6 +934,10 @@ let serve_cmd =
         max_conns;
         max_inflight;
         drain_timeout_ms;
+        idle_timeout_ms;
+        quota;
+        breaker = (if breaker then Some Net.Breaker.default_config else None);
+        chaos;
       }
     in
     let server =
@@ -911,9 +987,11 @@ let serve_cmd =
           drain on SIGTERM (see README, \"Network serving\").")
     Term.(
       const run $ host_arg $ port_arg $ max_conns_arg $ max_inflight_arg
-      $ drain_timeout_arg $ port_file_arg $ domains_arg $ cache_size_arg
-      $ deadline_arg $ max_retries_arg $ degrade_arg $ metrics_out_arg
-      $ metrics_format_arg $ trace_out_arg $ det_obs_arg)
+      $ drain_timeout_arg $ port_file_arg $ idle_timeout_arg
+      $ quota_rate_arg $ quota_burst_arg $ breaker_arg $ chaos_arg
+      $ domains_arg $ cache_size_arg $ deadline_arg $ max_retries_arg
+      $ degrade_arg $ metrics_out_arg $ metrics_format_arg $ trace_out_arg
+      $ det_obs_arg)
 
 let sweep_cmd =
   let workloads_arg =

@@ -1,0 +1,96 @@
+(** Deterministic socket-level fault injection for the server's I/O.
+
+    The compute path earned its chaos discipline in the resilience
+    layer ([Service.Fault_injection]): every fault decision is a pure
+    function of a seed and the decision's identity, so chaos runs are
+    byte-reproducible. This module applies the same discipline to the
+    {e socket} layer — the faults an adversarial network or client
+    inflicts on [read(2)]/[write(2)]:
+
+    - {b short reads/writes}: an op is clamped to a handful of bytes,
+      exercising every partial-I/O resumption path;
+    - {b stalls}: an op sleeps first, exercising deadline handling;
+    - {b abrupt resets}: the connection dies mid-stream
+      ([ECONNRESET]), exercising error paths and the zero-loss
+      accounting;
+    - {b trickle mode}: a whole connection is degraded to one-byte
+      ops — a tame slowloris for deadline tests.
+
+    Every decision is pure in [(seed, conn, op, index)]:
+
+    - per-connection traits (is this connection trickled? at which
+      byte does it reset?) depend only on [(seed, conn)];
+    - per-op choices (stall? clamp to how much?) depend only on
+      [(seed, conn, op-kind, op-ordinal)].
+
+    Resets are {e byte-deterministic}: the reset threshold is a byte
+    position in one seeded direction of the connection (its read
+    stream or its write stream — never a combined count, whose
+    crossing point would depend on how the OS chunks reads), and ops
+    in that direction are clamped so they never cross it — so the
+    exact bytes a client receives before the reset do not depend on OS
+    chunking, domain count or wall-clock timing. [test/test_net.ml] asserts that the
+    served-response bytes of a chaos run are identical across 1/2/4/8
+    worker domains for the same seed.
+
+    A wrapper raises [Unix.Unix_error (ECONNRESET, "chaos", _)] for an
+    injected reset; once a connection is reset every further op on it
+    raises too. The server treats these exactly like real peer resets.
+
+    {b Thread safety}: a {!plan} is immutable and freely shared. A
+    {!conn} wrapper is {e connection-confined} mutable state (op and
+    byte counters) — owned by the single handler domain driving that
+    connection, like [Frame.t]; it is not thread-safe and needs no
+    lock. *)
+
+type plan
+
+val none : plan
+(** No chaos: wrappers pass straight through to [Unix.read]/[write]. *)
+
+val is_none : plan -> bool
+
+val seed : plan -> int
+
+val create :
+  ?seed:int ->
+  ?short_rate:float ->
+  ?stall_rate:float ->
+  ?stall_ms:float ->
+  ?reset_rate:float ->
+  ?reset_max_bytes:int ->
+  ?trickle_rate:float ->
+  unit ->
+  plan
+(** [short_rate] — per-op probability of clamping the op to 1–16
+    bytes; [stall_rate]/[stall_ms] — per-op probability of sleeping
+    [stall_ms] first; [reset_rate] — per-{e connection} probability
+    that the connection carries a seeded reset threshold, drawn
+    uniformly in \[1, [reset_max_bytes]\] (default 4096) of one
+    seeded direction's traffic; [trickle_rate] — per-connection probability
+    that every op is clamped to one byte. All rates default to 0.
+    Raises [Invalid_argument] on a rate outside \[0, 1\] or a
+    non-positive [reset_max_bytes]. *)
+
+val of_spec : string -> (plan, string) result
+(** Parses a compact CLI/Makefile spec: comma-separated [key=value]
+    pairs over the keys [seed], [short], [stall], [stall_ms], [reset],
+    [reset_bytes], [trickle] — e.g.
+    ["seed=42,short=0.3,stall=0.1,stall_ms=2,reset=0.5,trickle=0.1"].
+    Unknown keys and malformed values are errors. *)
+
+type conn
+(** Per-connection wrapper state: the plan plus op/byte counters. *)
+
+val wrap : plan -> conn:int -> conn
+(** The wrapper for connection ordinal [conn] (the server's
+    connection id, assigned in accept order). *)
+
+val read : conn -> Unix.file_descr -> bytes -> int -> int -> int
+(** Drop-in for [Unix.read], with injected stalls, clamped lengths and
+    resets. Raises [Unix.Unix_error (ECONNRESET, "chaos", "read")] at
+    the seeded reset point (and on every op after it). *)
+
+val write : conn -> Unix.file_descr -> bytes -> int -> int -> int
+(** Drop-in for [Unix.write]; may write fewer bytes than asked (the
+    caller's short-write loop resumes), and resets like {!read}. *)

@@ -7,6 +7,13 @@ type config = {
   drain_timeout_ms : float;
   max_line_bytes : int;
   poll_interval_ms : float;
+  idle_timeout_ms : float;
+  write_timeout_ms : float;
+  quota : Quota.config option;
+  quota_per_conn : bool;
+  breaker : Breaker.config option;
+  brownout_degrade : bool;
+  chaos : Chaos.plan;
 }
 
 let default_config =
@@ -19,6 +26,13 @@ let default_config =
     drain_timeout_ms = 5_000.;
     max_line_bytes = Frame.default_max_line_bytes;
     poll_interval_ms = 50.;
+    idle_timeout_ms = 60_000.;
+    write_timeout_ms = 10_000.;
+    quota = None;
+    quota_per_conn = false;
+    breaker = None;
+    brownout_degrade = true;
+    chaos = Chaos.none;
   }
 
 type stats = {
@@ -30,6 +44,11 @@ type stats = {
   admitted : int;
   shed_inflight : int;
   shed_draining : int;
+  shed_quota : int;
+  shed_brownout : int;
+  brownout_cached : int;
+  brownout_degraded : int;
+  idle_closed : int;
   malformed : int;
   completed : int;
   write_errors : int;
@@ -44,6 +63,11 @@ type instruments = {
   i_requests : Obs.Metrics.counter;
   i_shed_inflight : Obs.Metrics.counter;
   i_shed_draining : Obs.Metrics.counter;
+  i_shed_quota : Obs.Metrics.counter;
+  i_shed_brownout : Obs.Metrics.counter;
+  i_brownout_cached : Obs.Metrics.counter;
+  i_brownout_degraded : Obs.Metrics.counter;
+  i_idle_closed : Obs.Metrics.counter;
   i_malformed : Obs.Metrics.counter;
   i_completed : Obs.Metrics.counter;
   i_write_errors : Obs.Metrics.counter;
@@ -51,6 +75,11 @@ type instruments = {
 }
 
 let instruments im =
+  let shed reason =
+    Obs.Metrics.counter im
+      ~labels:[ ("reason", reason) ]
+      ~help:"requests shed with Overload" "locmap_net_shed_total"
+  in
   {
     i_conns_accepted =
       Obs.Metrics.counter im ~help:"connections accepted"
@@ -69,14 +98,22 @@ let instruments im =
     i_requests =
       Obs.Metrics.counter im ~help:"lines processed (parsed or malformed)"
         "locmap_net_requests_total";
-    i_shed_inflight =
+    i_shed_inflight = shed "inflight";
+    i_shed_draining = shed "draining";
+    i_shed_quota = shed "quota";
+    i_shed_brownout = shed "brownout";
+    i_brownout_cached =
       Obs.Metrics.counter im
-        ~labels:[ ("reason", "inflight") ]
-        ~help:"requests shed with Overload" "locmap_net_shed_total";
-    i_shed_draining =
+        ~help:"brownout requests answered from the solution cache"
+        "locmap_net_brownout_cached_total";
+    i_brownout_degraded =
       Obs.Metrics.counter im
-        ~labels:[ ("reason", "draining") ]
-        ~help:"requests shed with Overload" "locmap_net_shed_total";
+        ~help:"brownout requests answered with the fallback mapping"
+        "locmap_net_brownout_degraded_total";
+    i_idle_closed =
+      Obs.Metrics.counter im
+        ~help:"connections closed by the idle/read deadline (slowloris)"
+        "locmap_net_idle_closed_total";
     i_malformed =
       Obs.Metrics.counter im
         ~help:"lines answered with a per-line parse-error fault"
@@ -87,7 +124,7 @@ let instruments im =
         "locmap_net_completed_total";
     i_write_errors =
       Obs.Metrics.counter im
-        ~help:"response writes a closed peer never read"
+        ~help:"response writes a closed/stalled peer never read"
         "locmap_net_write_errors_total";
     i_request_ms =
       Obs.Metrics.histogram im
@@ -103,6 +140,8 @@ type t = {
   lfd : Unix.file_descr;
   bound_port : int;
   admission : Admission.t;
+  quota : Quota.t option;
+  breaker : Breaker.t option;
   stop : bool Atomic.t;
   lock : Mutex.t;  (** guards [conns], [dead], [next_conn_id] *)
   drain_lock : Mutex.t;  (** serialises {!drain}; guards [final] *)
@@ -118,6 +157,11 @@ type t = {
   c_requests : int Atomic.t;
   c_shed_inflight : int Atomic.t;
   c_shed_draining : int Atomic.t;
+  c_shed_quota : int Atomic.t;
+  c_shed_brownout : int Atomic.t;
+  c_brownout_cached : int Atomic.t;
+  c_brownout_degraded : int Atomic.t;
+  c_idle_closed : int Atomic.t;
   c_malformed : int Atomic.t;
   c_completed : int Atomic.t;
   c_write_errors : int Atomic.t;
@@ -146,6 +190,11 @@ let stats t =
     admitted;
     shed_inflight = Atomic.get t.c_shed_inflight;
     shed_draining = Atomic.get t.c_shed_draining;
+    shed_quota = Atomic.get t.c_shed_quota;
+    shed_brownout = Atomic.get t.c_shed_brownout;
+    brownout_cached = Atomic.get t.c_brownout_cached;
+    brownout_degraded = Atomic.get t.c_brownout_degraded;
+    idle_closed = Atomic.get t.c_idle_closed;
     malformed = Atomic.get t.c_malformed;
     completed;
     write_errors = Atomic.get t.c_write_errors;
@@ -154,26 +203,81 @@ let stats t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>connections: %d accepted, %d rejected, %d active@ requests: %d \
-     (%d frames), %d admitted, %d completed, %d lost@ shed: %d over \
-     capacity, %d while draining; %d malformed, %d write errors@]"
-    s.conns_accepted s.conns_rejected s.conns_active s.requests s.frames
-    s.admitted s.completed s.lost s.shed_inflight s.shed_draining s.malformed
-    s.write_errors
+    "@[<v>connections: %d accepted, %d rejected, %d active, %d idle-closed@ \
+     requests: %d (%d frames), %d admitted, %d completed, %d lost@ shed: %d \
+     over capacity, %d draining, %d quota, %d brownout; %d malformed, %d \
+     write errors@ brownout served: %d cached, %d degraded@]"
+    s.conns_accepted s.conns_rejected s.conns_active s.idle_closed s.requests
+    s.frames s.admitted s.completed s.lost s.shed_inflight s.shed_draining
+    s.shed_quota s.shed_brownout s.malformed s.write_errors s.brownout_cached
+    s.brownout_degraded
+
+let breaker_state t =
+  match t.breaker with None -> None | Some b -> Some (Breaker.state b)
+
+let health_json t =
+  let s = stats t in
+  let open Service.Json in
+  let breaker =
+    match t.breaker with
+    | None -> String "off"
+    | Some b ->
+        Obj
+          [
+            ("state", String (Breaker.state_name (Breaker.state b)));
+            ("trips", Int (Breaker.trips_total b));
+          ]
+  in
+  let quota =
+    match t.quota with
+    | None -> String "off"
+    | Some q ->
+        Obj
+          [
+            ("clients", Int (Quota.clients q));
+            ("denied", Int (Quota.denied_total q));
+            ("evictions", Int (Quota.evictions_total q));
+          ]
+  in
+  to_string
+    (Obj
+       [
+         ( "health",
+           Obj
+             [
+               ("draining", Bool (Atomic.get t.stop));
+               ( "conns",
+                 Obj
+                   [
+                     ("active", Int s.conns_active);
+                     ("accepted", Int s.conns_accepted);
+                     ("rejected", Int s.conns_rejected);
+                     ("idle_closed", Int s.idle_closed);
+                     ("limit", Int t.cfg.max_conns);
+                   ] );
+               ( "admission",
+                 Obj
+                   [
+                     ("in_flight", Int (Admission.in_flight t.admission));
+                     ("limit", Int (Admission.limit t.admission));
+                     ("admitted", Int s.admitted);
+                   ] );
+               ("breaker", breaker);
+               ("quota", quota);
+               ( "shed",
+                 Obj
+                   [
+                     ("inflight", Int s.shed_inflight);
+                     ("draining", Int s.shed_draining);
+                     ("quota", Int s.shed_quota);
+                     ("brownout", Int s.shed_brownout);
+                   ] );
+               ("completed", Int s.completed);
+             ] );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Socket plumbing.                                                    *)
-
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write fd b off (n - off) with
-      | w -> go (off + w)
-      | exception Unix.Unix_error (EINTR, _, _) -> go off
-  in
-  go 0
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -181,42 +285,117 @@ let overload_response ~id ~scope ~limit =
   Service.Response.error ~id ~hash:""
     (Service.Fault.Overload { scope; limit })
 
+(* Best-effort single write on a (nonblocking) socket the server is
+   about to close anyway — the connection-cap reject line. A peer that
+   vanished mid-reject is not our problem. *)
+let write_best_effort fd s =
+  let b = Bytes.unsafe_of_string s in
+  match Unix.write fd b 0 (Bytes.length b) with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Connection handler: one domain, one socket, strictly serial.        *)
 
-let handle t ~conn_id fd =
+exception Write_timed_out
+
+let handle t ~conn_id ~peer fd =
   let cfg = t.cfg in
   let conn_span =
     match t.tracer with
     | Some tr when Obs.Trace.is_enabled tr ->
-        Some (tr, Obs.Trace.root tr ~trace_id:(Printf.sprintf "conn-%d" conn_id) "conn")
+        Some
+          ( tr,
+            Obs.Trace.root tr ~trace_id:(Printf.sprintf "conn-%d" conn_id)
+              "conn" )
     | _ -> None
+  in
+  let chaos =
+    if Chaos.is_none cfg.chaos then None
+    else Some (Chaos.wrap cfg.chaos ~conn:conn_id)
+  in
+  let chaos_read fd buf pos len =
+    match chaos with
+    | Some c -> Chaos.read c fd buf pos len
+    | None -> Unix.read fd buf pos len
+  in
+  let chaos_write fd buf pos len =
+    match chaos with
+    | Some c -> Chaos.write c fd buf pos len
+    | None -> Unix.write fd buf pos len
   in
   let reader = Frame.create ~max_line_bytes:cfg.max_line_bytes () in
   let buf = Bytes.create 16384 in
   let raw_line = ref 0 in
   let next_id = ref 0 in
-  (* [alive] goes false when the peer is gone (write failed) or the fd
-     was force-closed under us during drain; either way the handler
-     winds down without touching the socket again. *)
+  let last_frame_ns = ref (Obs.Clock.now_ns ()) in
+  (* [alive] goes false when the peer is gone (write failed or timed
+     out), the idle deadline reclaimed the connection, or the fd was
+     force-closed under us during drain; either way the handler winds
+     down without touching the socket again. *)
   let alive = ref true in
-  let respond resp =
-    match write_all fd (Service.Response.to_string resp ^ "\n") with
+  (* The fd is nonblocking (set at accept) so a peer that stops
+     reading cannot wedge the handler: the write loop waits for
+     writability in poll-sized slices and gives up at the write
+     deadline. *)
+  let write_all s =
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let deadline =
+      if cfg.write_timeout_ms > 0. then
+        Some
+          (Int64.add (Obs.Clock.now_ns ())
+             (Int64.of_float (cfg.write_timeout_ms *. 1_000_000.)))
+      else None
+    in
+    let rec go off =
+      if off < n then begin
+        (match deadline with
+        | Some d when Obs.Clock.now_ns () > d -> raise Write_timed_out
+        | _ -> ());
+        match chaos_write fd b off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            (match
+               Unix.select [] [ fd ] [] (cfg.poll_interval_ms /. 1000.)
+             with
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+            | _ -> ());
+            go off
+      end
+    in
+    go 0
+  in
+  let respond_line line =
+    match write_all (line ^ "\n") with
     | () -> ()
-    | exception Unix.Unix_error (_, _, _) ->
+    | exception (Unix.Unix_error (_, _, _) | Write_timed_out) ->
         tick t t.c_write_errors (fun i -> i.i_write_errors);
         alive := false
   in
+  let respond resp = respond_line (Service.Response.to_string resp) in
   (* One processed line: parse, admit (or shed), compute, answer. The
      response id numbers processed lines per connection and the
      per-line fault message carries the raw (blank/comment-counting)
      line ordinal — both exactly as `locmap batch` assigns them, which
-     is what makes socket and batch output byte-comparable. *)
+     is what makes socket and batch output byte-comparable. Control
+     lines ([!health]) are a serve-only extension: answered in place,
+     never numbered, never counted as requests. *)
   let process line =
     incr raw_line;
+    last_frame_ns := Obs.Clock.now_ns ();
     tick t t.c_frames (fun i -> i.i_frames);
     let s = String.trim line in
     if s = "" || s.[0] = '#' then ()
+    else if s.[0] = '!' then begin
+      if s = "!health" then respond_line (health_json t)
+      else
+        respond
+          (Service.Response.error ~id:(-1) ~hash:""
+             (Service.Fault.Invalid_request
+                (Printf.sprintf "unknown control line %S" s)))
+    end
     else begin
       let id = !next_id in
       incr next_id;
@@ -236,8 +415,66 @@ let handle t ~conn_id fd =
                 (overload_response ~id ~scope:"draining"
                    ~limit:cfg.max_inflight)
             end
+            else if
+              match t.quota with
+              | Some q -> not (Quota.try_take q peer)
+              | None -> false
+            then begin
+              (* Greedy client: shed before it can touch the shared
+                 admission budget. Not fed to the breaker — one
+                 client over its quota is not server overload. *)
+              tick t t.c_shed_quota (fun i -> i.i_shed_quota);
+              let limit =
+                match cfg.quota with
+                | Some q -> int_of_float q.Quota.burst
+                | None -> 0
+              in
+              respond (overload_response ~id ~scope:"quota" ~limit)
+            end
+            else if
+              match t.breaker with
+              | Some b -> not (Breaker.allow b)
+              | None -> false
+            then begin
+              (* Brownout: no fresh compute. Serve what is cheap — the
+                 cache, then the fallback mapping — and shed the rest
+                 with a retryable fault. None of these outcomes feed
+                 the breaker; only probes and fresh compute do. *)
+              let hash = Service.Request.hash req in
+              match
+                Service.Solution_cache.find
+                  (Service.Api.cache t.api)
+                  hash
+              with
+              | Some p ->
+                  tick t t.c_brownout_cached (fun i -> i.i_brownout_cached);
+                  respond { Service.Response.id; hash; result = Ok p }
+              | None -> (
+                  let fault =
+                    Service.Fault.Overload
+                      { scope = "brownout"; limit = cfg.max_inflight }
+                  in
+                  let fallback =
+                    if cfg.brownout_degrade then
+                      Service.Api.fallback_response t.api ~id ~fault req
+                    else None
+                  in
+                  match fallback with
+                  | Some resp ->
+                      tick t t.c_brownout_degraded (fun i ->
+                          i.i_brownout_degraded);
+                      respond resp
+                  | None ->
+                      tick t t.c_shed_brownout (fun i -> i.i_shed_brownout);
+                      respond
+                        (overload_response ~id ~scope:"brownout"
+                           ~limit:cfg.max_inflight))
+            end
             else if not (Admission.try_acquire t.admission) then begin
               tick t t.c_shed_inflight (fun i -> i.i_shed_inflight);
+              (match t.breaker with
+              | Some b -> Breaker.record b ~ok:false
+              | None -> ());
               respond
                 (overload_response ~id ~scope:"inflight"
                    ~limit:cfg.max_inflight)
@@ -258,6 +495,13 @@ let handle t ~conn_id fd =
                 | None -> compute ()
               in
               tick t t.c_completed (fun i -> i.i_completed);
+              (match t.breaker with
+              | Some b ->
+                  Breaker.record b
+                    ~ok:
+                      (Service.Response.is_ok r
+                      && not (Service.Response.is_degraded r))
+              | None -> ());
               respond { r with Service.Response.id }
             end
       in
@@ -269,6 +513,7 @@ let handle t ~conn_id fd =
   in
   let process_too_long n =
     incr raw_line;
+    last_frame_ns := Obs.Clock.now_ns ();
     tick t t.c_frames (fun i -> i.i_frames);
     let id = !next_id in
     incr next_id;
@@ -279,6 +524,15 @@ let handle t ~conn_id fd =
          (Service.Fault.Invalid_request
             (Printf.sprintf "line %d: line of %d bytes exceeds the %d-byte limit"
                !raw_line n cfg.max_line_bytes)))
+  in
+  (* The slowloris defense: a connection that completes no frame
+     within the idle deadline — whether silent or trickling one byte
+     at a time — is answered with a retryable Overload (scope "idle")
+     and closed, reclaiming its handler domain. *)
+  let idle_expired () =
+    cfg.idle_timeout_ms > 0.
+    && Obs.Clock.ns_to_ms (Int64.sub (Obs.Clock.now_ns ()) !last_frame_ns)
+       > cfg.idle_timeout_ms
   in
   let rec pump () =
     if !alive then
@@ -294,16 +548,25 @@ let handle t ~conn_id fd =
           else if Atomic.get t.stop then ()
             (* Draining: already-buffered frames were answered above;
                stop reading new bytes and close. *)
+          else if idle_expired () then begin
+            tick t t.c_idle_closed (fun i -> i.i_idle_closed);
+            respond
+              (overload_response ~id:(-1) ~scope:"idle"
+                 ~limit:(int_of_float cfg.idle_timeout_ms));
+            alive := false
+          end
           else begin
             (match Unix.select [ fd ] [] [] (cfg.poll_interval_ms /. 1000.) with
             | exception Unix.Unix_error (EINTR, _, _) -> ()
             | exception Unix.Unix_error (EBADF, _, _) -> alive := false
             | [], _, _ -> ()
             | _ -> (
-                match Unix.read fd buf 0 (Bytes.length buf) with
+                match chaos_read fd buf 0 (Bytes.length buf) with
                 | 0 -> Frame.close reader
                 | n -> Frame.feed reader buf 0 n
                 | exception Unix.Unix_error (EINTR, _, _) -> ()
+                | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                    ()
                 | exception Unix.Unix_error (_, _, _) -> Frame.close reader));
             pump ()
           end
@@ -347,6 +610,14 @@ let reap t =
   in
   List.iter Domain.join finished
 
+let peer_key t sockaddr =
+  match sockaddr with
+  | Unix.ADDR_INET (a, p) ->
+      if t.cfg.quota_per_conn then
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+      else Unix.string_of_inet_addr a
+  | Unix.ADDR_UNIX s -> s
+
 let acceptor_loop t () =
   let rec loop () =
     reap t;
@@ -360,21 +631,22 @@ let acceptor_loop t () =
               Unix.Unix_error
                 ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
               ()
-          | fd, _ ->
+          | fd, sockaddr ->
               (try Unix.setsockopt fd Unix.TCP_NODELAY true
                with Unix.Unix_error _ -> ());
+              (* Nonblocking from birth: the handler's read loop
+                 already selects first, and the write loop needs
+                 EAGAIN to enforce the write deadline against a peer
+                 that stops reading. *)
+              (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
               if Atomic.get t.c_active >= t.cfg.max_conns then begin
-                (* Connection-level shed: one Overload line, close.
-                   Best-effort — a peer that vanished mid-reject is
-                   not our problem. *)
+                (* Connection-level shed: one Overload line, close. *)
                 tick t t.c_conns_rejected (fun i -> i.i_conns_rejected);
-                (try
-                   write_all fd
-                     (Service.Response.to_string
-                        (overload_response ~id:0 ~scope:"connections"
-                           ~limit:t.cfg.max_conns)
-                     ^ "\n")
-                 with Unix.Unix_error _ -> ());
+                write_best_effort fd
+                  (Service.Response.to_string
+                     (overload_response ~id:0 ~scope:"connections"
+                        ~limit:t.cfg.max_conns)
+                  ^ "\n");
                 close_quietly fd
               end
               else begin
@@ -386,11 +658,12 @@ let acceptor_loop t () =
                 (* Spawn and register under one lock so the handler's
                    completion notice (also under [t.lock]) can never
                    precede registration. *)
+                let peer = peer_key t sockaddr in
                 Mutex.protect t.lock (fun () ->
                     let id = t.next_conn_id in
                     t.next_conn_id <- id + 1;
                     let dom =
-                      Domain.spawn (fun () -> handle t ~conn_id:id fd)
+                      Domain.spawn (fun () -> handle t ~conn_id:id ~peer fd)
                     in
                     Hashtbl.replace t.conns id { fd; dom })
               end));
@@ -410,6 +683,10 @@ let create ?(config = default_config) ?metrics ?tracer ~api () =
     invalid_arg "Server.create: max_conns must be positive";
   if config.poll_interval_ms <= 0. then
     invalid_arg "Server.create: poll_interval_ms must be positive";
+  if config.idle_timeout_ms < 0. then
+    invalid_arg "Server.create: idle_timeout_ms must be >= 0";
+  if config.write_timeout_ms < 0. then
+    invalid_arg "Server.create: write_timeout_ms must be >= 0";
   (* A dead peer must surface as a write error, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -434,6 +711,8 @@ let create ?(config = default_config) ?metrics ?tracer ~api () =
       lfd;
       bound_port;
       admission = Admission.create ?metrics ~limit:config.max_inflight ();
+      quota = Option.map (fun q -> Quota.create ?metrics q) config.quota;
+      breaker = Option.map (fun b -> Breaker.create ?metrics b) config.breaker;
       stop = Atomic.make false;
       lock = Mutex.create ();
       drain_lock = Mutex.create ();
@@ -449,6 +728,11 @@ let create ?(config = default_config) ?metrics ?tracer ~api () =
       c_requests = Atomic.make 0;
       c_shed_inflight = Atomic.make 0;
       c_shed_draining = Atomic.make 0;
+      c_shed_quota = Atomic.make 0;
+      c_shed_brownout = Atomic.make 0;
+      c_brownout_cached = Atomic.make 0;
+      c_brownout_degraded = Atomic.make 0;
+      c_idle_closed = Atomic.make 0;
       c_malformed = Atomic.make 0;
       c_completed = Atomic.make 0;
       c_write_errors = Atomic.make 0;

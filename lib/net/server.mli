@@ -58,13 +58,56 @@
     line; the per-request/attempt/phase spans of {!Service.Api} hang
     off the request hash as usual.
 
+    {b Edge hardening} (DESIGN.md §11). Sockets are nonblocking from
+    accept, which enables three defenses:
+
+    - {e Idle/read deadline} ([idle_timeout_ms]): a connection that
+      completes no {e frame} within the deadline — silent or
+      byte-trickling (slowloris) — is answered with one retryable
+      [Fault.Overload] line (scope ["idle"], [id] -1) and closed,
+      reclaiming its handler domain. The clock restarts on every
+      complete frame, so a legitimate slow-but-working client is never
+      cut off mid-conversation.
+    - {e Write deadline} ([write_timeout_ms]): a peer that stops
+      reading cannot wedge a handler mid-response; the write loop
+      waits for writability in poll-sized slices and gives up at the
+      deadline (counted as a write error, connection dropped).
+    - {e Per-client quota} ([quota], {!Quota}): a token bucket per
+      peer address, checked {e before} the shared admission budget, so
+      one greedy client is shed (scope ["quota"]) without starving the
+      rest. [quota_per_conn] keys by [ip:port] instead of [ip] —
+      for tests and trusted-proxy setups where all peers share an IP.
+
+    {b Brownout} ([breaker], {!Breaker}): a circuit breaker watches
+    fresh-compute outcomes (shed-for-capacity and faulted/degraded
+    responses are "bad"). Tripped, the server stops fresh compute:
+    cache hits are still served, cache misses get the cheap fallback
+    mapping ([Service.Api.fallback_response], a degraded response
+    carrying scope ["brownout"]) when [brownout_degrade] is on, and a
+    retryable [Overload] (scope ["brownout"]) otherwise. Brownout
+    outcomes do not feed the breaker; recovery happens via half-open
+    probes (see {!Breaker}). Quota and draining sheds never feed the
+    breaker either — they are client or lifecycle conditions, not
+    server overload.
+
+    {b Chaos} ([chaos], {!Chaos}): wraps every connection's socket ops
+    in seeded fault injection (short reads/writes, stalls, resets,
+    trickle) for the `make chaos-net` harness; [Chaos.none] (default)
+    adds zero overhead.
+
+    {b Health surface}: the in-band control line [!health] (not a
+    request: consumes no response id, sheds nothing) answers one JSON
+    line — draining flag, connection/admission occupancy, breaker
+    state, quota counters, shed breakdown — see {!health_json}.
+
     {b Thread safety}: fully thread-safe. The stop flag and all stats
     counters are atomics; the connection table is mutex-protected;
     {!stats}, {!request_stop} and {!port} may be called from any
     domain (or a signal handler, for {!request_stop}). Sockets are
     owned by exactly one handler each; {!drain}'s force-close is the
     single documented exception and handlers treat a concurrently
-    closed fd as EOF. *)
+    closed fd as EOF. {!Quota} and {!Breaker} are internally locked;
+    {!Chaos} wrappers are connection-confined. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -79,11 +122,29 @@ type config = {
   poll_interval_ms : float;
       (** select granularity — the latency bound on noticing a stop
           request or a newly readable socket *)
+  idle_timeout_ms : float;
+      (** close a connection that completes no frame within this
+          deadline (slowloris defense); 0 disables *)
+  write_timeout_ms : float;
+      (** give up on a response write the peer will not drain within
+          this deadline; 0 disables (writes may then block on select
+          forever against a stuck peer) *)
+  quota : Quota.config option;  (** per-client token bucket; [None] = off *)
+  quota_per_conn : bool;
+      (** key quotas by [ip:port] instead of [ip] (tests, proxies) *)
+  breaker : Breaker.config option;
+      (** circuit breaker / brownout; [None] = off *)
+  brownout_degrade : bool;
+      (** in brownout, answer cache misses with the fallback mapping
+          (degraded) instead of shedding them *)
+  chaos : Chaos.plan;  (** socket fault injection; {!Chaos.none} = off *)
 }
 
 val default_config : config
 (** 127.0.0.1:0 (ephemeral), backlog 64, 32 connections, 8 in flight,
-    5 s drain timeout, {!Frame.default_max_line_bytes}, 50 ms poll. *)
+    5 s drain timeout, {!Frame.default_max_line_bytes}, 50 ms poll,
+    60 s idle deadline, 10 s write deadline, quota and breaker off,
+    [brownout_degrade = true], {!Chaos.none}. *)
 
 type stats = {
   conns_accepted : int;
@@ -94,6 +155,13 @@ type stats = {
   admitted : int;  (** requests that took an admission slot *)
   shed_inflight : int;  (** Overload: admission budget full *)
   shed_draining : int;  (** Overload: arrived during drain *)
+  shed_quota : int;  (** Overload: client over its token bucket *)
+  shed_brownout : int;
+      (** Overload: breaker open and no cache/fallback answer *)
+  brownout_cached : int;  (** brownout requests served from cache *)
+  brownout_degraded : int;
+      (** brownout requests answered with the fallback mapping *)
+  idle_closed : int;  (** connections reclaimed by the idle deadline *)
   malformed : int;  (** per-line parse errors answered in place *)
   completed : int;  (** admitted requests answered (write attempted) *)
   write_errors : int;  (** responses a dead peer never read *)
@@ -140,5 +208,17 @@ val stats : t -> stats
 (** A consistent-enough live view (each field is individually exact;
     cross-field invariants like [lost = 0] are only guaranteed after
     {!drain}). *)
+
+val breaker_state : t -> Breaker.state option
+(** [None] when no breaker is configured. *)
+
+val health_json : t -> string
+(** The [!health] control-line answer: one JSON object (no trailing
+    newline) of the form
+    [{"health": {"draining": ..., "conns": {...}, "admission": {...},
+    "breaker": ..., "quota": ..., "shed": {...}, "completed": ...}}].
+    [breaker]/[quota] are the string ["off"] when not configured.
+    Callable from any domain (it reads only atomics and the
+    internally-locked quota/breaker). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -397,6 +397,27 @@ let submit (t : t) req =
   | [| r |] -> r
   | _ -> assert false
 
+(* The brownout escape hatch: a degraded response without touching the
+   pool or the cache. Runs entirely on the calling domain ([degrade] is
+   O(sets)); degraded payloads are never cached, so a browned-out
+   server cannot poison the cache with fallback mappings. *)
+let fallback_response (t : t) ~id ~fault (req : Request.t) :
+    Response.t option =
+  let hash = Request.hash req in
+  match degrade req ~hash fault with
+  | Error _ -> None
+  | Ok p ->
+      Mutex.lock t.stats_lock;
+      t.served <- t.served + 1;
+      t.degraded <- t.degraded + 1;
+      Mutex.unlock t.stats_lock;
+      (match t.obs with
+      | Some inst ->
+          Obs.Metrics.add inst.i_served 1;
+          Obs.Metrics.add inst.i_degraded 1
+      | None -> ());
+      Some { Response.id; hash; result = Ok p }
+
 let stats (t : t) =
   Mutex.lock t.stats_lock;
   let served = t.served

@@ -270,6 +270,25 @@ let response_is_ok line =
       | _ -> false)
   | Error _ -> false
 
+let json_member_via conv line path =
+  match Service.Json.of_string line with
+  | Error e -> Alcotest.failf "bad response %s: %s" line e
+  | Ok j ->
+      let rec walk j = function
+        | [] -> (
+            match conv j with
+            | Ok v -> v
+            | Error e -> Alcotest.failf "%s: %s" line e)
+        | name :: rest -> (
+            match Service.Json.member name j with
+            | Some v -> walk v rest
+            | None -> Alcotest.failf "missing %S in %s" name line)
+      in
+      walk j path
+
+let json_member_int line path = json_member_via Service.Json.to_int line path
+let json_member_bool line path = json_member_via Service.Json.to_bool line path
+
 let with_server ?(config = Net.Server.default_config) ?injection
     ?(resilience = Service.Resilience.default) ?(domains = 2) f =
   let api =
@@ -611,6 +630,655 @@ let test_connection_cap () =
       check int_t "reject recorded" 1 st.Net.Server.conns_rejected)
 
 (* ------------------------------------------------------------------ *)
+(* Frame fuzz: random content, random terminators, random split points
+   — the framer must agree with a trivial reference model on every
+   stream. Seeded for replay: a failure prints the seed; rerun with
+   FRAME_FUZZ_SEED=<seed> to reproduce byte for byte.                  *)
+
+let frame_reference stream max =
+  let classify raw =
+    if String.length raw > max then Net.Frame.Too_long (String.length raw)
+    else
+      Net.Frame.Line
+        (let n = String.length raw in
+         if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1) else raw)
+  in
+  let rec build = function
+    | [] -> []
+    | [ tail ] -> if tail = "" then [] else [ classify tail ]
+    | seg :: rest -> classify seg :: build rest
+  in
+  build (String.split_on_char '\n' stream)
+
+let test_frame_fuzz () =
+  let seed =
+    match Sys.getenv_opt "FRAME_FUZZ_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0xf00d)
+    | None -> 0xf00d
+  in
+  let rng = Random.State.make [| seed |] in
+  let max_line = 48 in
+  for iter = 1 to 200 do
+    let b = Buffer.create 256 in
+    let nlines = 1 + Random.State.int rng 6 in
+    for _ = 1 to nlines do
+      let len = Random.State.int rng 80 in
+      for _ = 1 to len do
+        Buffer.add_char b
+          (match Random.State.int rng 6 with
+          | 0 -> '\r'
+          | 1 -> Char.chr (Random.State.int rng 256) (* incl. raw \n, NUL *)
+          | _ -> Char.chr (97 + Random.State.int rng 26))
+      done;
+      match Random.State.int rng 3 with
+      | 0 -> Buffer.add_string b "\r\n"
+      | 1 -> Buffer.add_char b '\n'
+      | _ -> () (* unterminated: merges with the next line / EOF tail *)
+    done;
+    let stream = Buffer.contents b in
+    let expect = frame_reference stream max_line in
+    (* Random split points, including empty chunks. *)
+    let feeds = ref [] in
+    let i = ref 0 in
+    while !i < String.length stream do
+      let n =
+        min (String.length stream - !i) (1 + Random.State.int rng 8)
+      in
+      feeds := String.sub stream !i n :: !feeds;
+      i := !i + n
+    done;
+    let got = frames_of_feeds ~max_line_bytes:max_line (List.rev !feeds) in
+    if got <> expect then
+      Alcotest.failf
+        "frame fuzz mismatch (seed %d, iter %d, stream %S): rerun with \
+         FRAME_FUZZ_SEED=%d"
+        seed iter stream seed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Admission under handler exceptions                                  *)
+
+let test_admission_exception_hammer () =
+  (* Workers that raise mid-slot (the handler's Fun.protect pattern)
+     must still return every slot: at 2, 4 and 8 domains the books
+     close exactly — admitted = completed + raised, nothing leaks. *)
+  List.iter
+    (fun nd ->
+      let limit = max 1 (nd - 1) in
+      let a = Net.Admission.create ~limit () in
+      let completed = Atomic.make 0 in
+      let raised = Atomic.make 0 in
+      let shed = Atomic.make 0 in
+      let worker i () =
+        for k = 1 to 400 do
+          if Net.Admission.try_acquire a then (
+            match
+              Fun.protect
+                ~finally:(fun () -> Net.Admission.release a)
+                (fun () -> if (i + k) mod 3 = 0 then raise Exit)
+            with
+            | () -> Atomic.incr completed
+            | exception Exit -> Atomic.incr raised)
+          else Atomic.incr shed
+        done
+      in
+      let doms = Array.init nd (fun i -> Domain.spawn (fun () -> worker i ())) in
+      Array.iter Domain.join doms;
+      check int_t
+        (Printf.sprintf "no slots leak at %d domains" nd)
+        0 (Net.Admission.in_flight a);
+      check int_t
+        (Printf.sprintf "books balance at %d domains" nd)
+        (Atomic.get completed + Atomic.get raised)
+        (Net.Admission.admitted_total a);
+      check int_t
+        (Printf.sprintf "every attempt accounted at %d domains" nd)
+        (nd * 400)
+        (Atomic.get completed + Atomic.get raised + Atomic.get shed))
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: spec parsing and seeded determinism                          *)
+
+let test_chaos_spec () =
+  (match Net.Chaos.of_spec "seed=42,short=0.3,stall=0.1,stall_ms=2,reset=0.5,reset_bytes=100,trickle=0.1" with
+  | Ok p ->
+      check int_t "seed parsed" 42 (Net.Chaos.seed p);
+      check bool_t "plan is active" false (Net.Chaos.is_none p)
+  | Error e -> Alcotest.failf "spec should parse: %s" e);
+  (match Net.Chaos.of_spec "" with
+  | Ok p -> check bool_t "empty spec is none" true (Net.Chaos.is_none p)
+  | Error e -> Alcotest.failf "empty spec should parse: %s" e);
+  (match Net.Chaos.of_spec "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key must be rejected"
+  | Error _ -> ());
+  (match Net.Chaos.of_spec "short=2.0" with
+  | Ok _ -> Alcotest.fail "out-of-range rate must be rejected"
+  | Error _ -> ());
+  match Net.Chaos.of_spec "seed=x" with
+  | Ok _ -> Alcotest.fail "non-integer seed must be rejected"
+  | Error _ -> ()
+
+(* Drive a scripted traffic pattern through a chaos wrapper over a
+   socketpair and record every op's outcome. Identical plans must
+   produce identical traces — that is the whole point of seeding. *)
+let chaos_trace plan =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let c = Net.Chaos.wrap plan ~conn:3 in
+  let trace = ref [] in
+  let push x = trace := x :: !trace in
+  let payload = Bytes.make 16 'x' in
+  let sink = Bytes.create 64 in
+  (try
+     let written = ref 0 in
+     while !written < 200 do
+       let n = Net.Chaos.write c a payload 0 16 in
+       push n;
+       written := !written + n;
+       (* Peer drains, so the socket buffer never pushes back. *)
+       let rec drain k =
+         if k > 0 then drain (k - Unix.read b sink 0 (min k 64))
+       in
+       drain n
+     done;
+     let out = Bytes.make 100 'y' in
+     let rec wr off =
+       if off < 100 then wr (off + Unix.write b out off (100 - off))
+     in
+     wr 0;
+     let consumed = ref 0 in
+     while !consumed < 100 do
+       let n = Net.Chaos.read c a sink 0 (min 64 (100 - !consumed)) in
+       push (1000 + n);
+       consumed := !consumed + n
+     done
+   with Unix.Unix_error (ECONNRESET, "chaos", _) -> push (-1));
+  Unix.close a;
+  Unix.close b;
+  List.rev !trace
+
+let test_chaos_determinism () =
+  let plan seed =
+    Net.Chaos.create ~seed ~short_rate:0.6 ~reset_rate:1.0
+      ~reset_max_bytes:150 ~trickle_rate:0.3 ()
+  in
+  (* Same seed, fresh socketpair: byte-identical op trace. *)
+  List.iter
+    (fun seed ->
+      check
+        (Alcotest.list int_t)
+        (Printf.sprintf "trace reproducible for seed %d" seed)
+        (chaos_trace (plan seed))
+        (chaos_trace (plan seed)))
+    [ 1; 2; 3; 4; 5 ];
+  (* Different seeds draw different faults (with 5 seeds and per-op
+     coins, identical traces would mean the seed is ignored). *)
+  let distinct =
+    List.sort_uniq compare (List.map (fun s -> chaos_trace (plan s)) [ 1; 2; 3; 4; 5 ])
+  in
+  if List.length distinct < 2 then
+    Alcotest.fail "all seeds produced the same trace"
+
+(* ------------------------------------------------------------------ *)
+(* Quota                                                               *)
+
+let test_quota_clock () =
+  let now = ref 0L in
+  let clock () = !now in
+  let q =
+    Net.Quota.create ~now:clock
+      { Net.Quota.rate = 10.; burst = 2.; max_clients = 2 }
+  in
+  check bool_t "first" true (Net.Quota.try_take q "a");
+  check bool_t "second (burst)" true (Net.Quota.try_take q "a");
+  check bool_t "third is over quota" false (Net.Quota.try_take q "a");
+  check int_t "denied counted" 1 (Net.Quota.denied_total q);
+  (* 100 ms at 10 tokens/s refills exactly one token. *)
+  now := 100_000_000L;
+  check bool_t "refilled after 100ms" true (Net.Quota.try_take q "a");
+  check bool_t "but only one token" false (Net.Quota.try_take q "a");
+  (* A second client gets its own bucket; a third evicts the
+     longest-idle one. *)
+  now := 200_000_000L;
+  check bool_t "client b admitted" true (Net.Quota.try_take q "b");
+  check int_t "two clients tracked" 2 (Net.Quota.clients q);
+  now := 300_000_000L;
+  check bool_t "client c evicts the oldest" true (Net.Quota.try_take q "c");
+  check int_t "table stays bounded" 2 (Net.Quota.clients q);
+  check int_t "eviction counted" 1 (Net.Quota.evictions_total q);
+  match Net.Quota.create { Net.Quota.rate = 0.; burst = 2.; max_clients = 2 } with
+  | _ -> Alcotest.fail "rate 0 must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_server_quota_shed () =
+  (* burst 2, negligible refill: of four pipelined requests the first
+     two are served and the rest shed with the quota scope — before
+     they can touch the admission budget. *)
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.quota =
+        Some { Net.Quota.rate = 0.01; burst = 2.; max_clients = 8 };
+    }
+  in
+  with_server ~config ~domains:1 (fun server ->
+      let fd = connect (Net.Server.port server) in
+      send_string fd
+        (String.concat "\n"
+           [ req "moldyn"; req "fmm"; req "swim"; req ~scale:0.06 "moldyn" ]
+        ^ "\n");
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match read_lines ~until_eof:true ~expect:4 fd with
+      | [ r1; r2; r3; r4 ] ->
+          check bool_t "first served" true (response_is_ok r1);
+          check bool_t "second served" true (response_is_ok r2);
+          check string_t "third shed by quota" "quota"
+            (json_member_string r3 [ "error"; "scope" ]);
+          check string_t "fourth shed by quota" "quota"
+            (json_member_string r4 [ "error"; "scope" ])
+      | other -> Alcotest.failf "expected 4 lines, got %d" (List.length other));
+      close_quietly fd;
+      let st = Net.Server.stats server in
+      check int_t "quota sheds recorded" 2 st.Net.Server.shed_quota;
+      check int_t "admission untouched by shed" 2 st.Net.Server.admitted)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                             *)
+
+let test_breaker_cycle () =
+  let now = ref 0L in
+  let clock () = !now in
+  let ms x = Int64.of_int (x * 1_000_000) in
+  let b =
+    Net.Breaker.create ~now:clock
+      {
+        Net.Breaker.window = 8;
+        min_events = 4;
+        trip_ratio = 0.5;
+        open_ms = 100.;
+        probes = 2;
+      }
+  in
+  check bool_t "closed allows" true (Net.Breaker.allow b);
+  Net.Breaker.record b ~ok:true;
+  Net.Breaker.record b ~ok:true;
+  Net.Breaker.record b ~ok:false;
+  check bool_t "still closed below min_events" (* 3 events *) true
+    (Net.Breaker.state b = Net.Breaker.Closed);
+  Net.Breaker.record b ~ok:false;
+  (* 4 events, 2 bad = 50% — trips. *)
+  check bool_t "tripped" true (Net.Breaker.state b = Net.Breaker.Open);
+  check int_t "one trip" 1 (Net.Breaker.trips_total b);
+  check bool_t "open refuses" false (Net.Breaker.allow b);
+  now := ms 99;
+  check bool_t "still open before the dwell" false (Net.Breaker.allow b);
+  now := ms 100;
+  check bool_t "first probe allowed" true (Net.Breaker.allow b);
+  check bool_t "half-open" true (Net.Breaker.state b = Net.Breaker.Half_open);
+  check bool_t "second probe allowed" true (Net.Breaker.allow b);
+  check bool_t "probe budget exhausted" false (Net.Breaker.allow b);
+  Net.Breaker.record b ~ok:true;
+  check bool_t "one success is not enough" true
+    (Net.Breaker.state b = Net.Breaker.Half_open);
+  Net.Breaker.record b ~ok:true;
+  check bool_t "probes close the breaker" true
+    (Net.Breaker.state b = Net.Breaker.Closed);
+  (* A half-open failure reopens immediately and restarts the dwell. *)
+  Net.Breaker.record b ~ok:true;
+  Net.Breaker.record b ~ok:true;
+  Net.Breaker.record b ~ok:false;
+  Net.Breaker.record b ~ok:false;
+  check int_t "second trip" 2 (Net.Breaker.trips_total b);
+  now := ms 200;
+  check bool_t "probe after second dwell" true (Net.Breaker.allow b);
+  Net.Breaker.record b ~ok:false;
+  check bool_t "failed probe reopens" true
+    (Net.Breaker.state b = Net.Breaker.Open);
+  check int_t "third trip" 3 (Net.Breaker.trips_total b);
+  check string_t "state names" "half_open"
+    (Net.Breaker.state_name Net.Breaker.Half_open)
+
+let test_brownout () =
+  (* Trip the breaker with real sheds, then verify the brownout
+     contract: cache hits still served, cache misses answered with the
+     degraded fallback, the health line says "open", and the books
+     still balance after drain. *)
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.max_inflight = 1;
+      breaker =
+        Some
+          {
+            Net.Breaker.window = 4;
+            min_events = 4;
+            trip_ratio = 0.5;
+            open_ms = 60_000.;
+            probes = 1;
+          };
+      brownout_degrade = true;
+    }
+  in
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 600.) ]
+  in
+  with_server ~config ~injection ~domains:1 (fun server ->
+      let port = Net.Server.port server in
+      (* Warm the cache (and give the breaker one good outcome). *)
+      let c0 = connect port in
+      send_string c0 (req "moldyn" ^ "\n");
+      (match read_lines ~expect:1 c0 with
+      | [ line ] -> check bool_t "cache warmed" true (response_is_ok line)
+      | _ -> assert false);
+      close_quietly c0;
+      (* Hold the single admission slot... *)
+      let a = connect port in
+      send_string a (req ~scale:0.06 "fmm" ^ "\n");
+      wait_until "slot held" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted = 2);
+      (* ...and hammer three more requests into it: three inflight
+         sheds = three bad outcomes, tripping the 4-event window. *)
+      let b = connect port in
+      send_string b
+        (String.concat "\n"
+           [ req ~scale:0.07 "swim"; req ~scale:0.08 "swim";
+             req ~scale:0.09 "swim" ]
+        ^ "\n");
+      (match read_lines ~expect:3 b with
+      | [ r1; r2; r3 ] ->
+          List.iter
+            (fun r ->
+              check string_t "shed while the slot is held" "inflight"
+                (json_member_string r [ "error"; "scope" ]))
+            [ r1; r2; r3 ]
+      | _ -> assert false);
+      check bool_t "breaker tripped" true
+        (Net.Server.breaker_state server = Some Net.Breaker.Open);
+      (* Brownout: the cached request is still served for real... *)
+      send_string b (req "moldyn" ^ "\n");
+      (match read_lines ~expect:1 b with
+      | [ line ] ->
+          check bool_t "cache hit served in brownout" true
+            (response_is_ok line);
+          check bool_t "and not degraded" false
+            (json_member_bool line [ "result"; "degraded" ])
+      | _ -> assert false);
+      (* ...an uncached one gets the cheap degraded fallback... *)
+      send_string b (req ~scale:0.11 "fmm" ^ "\n");
+      (match read_lines ~expect:1 b with
+      | [ line ] ->
+          check bool_t "fallback is ok on the wire" true
+            (response_is_ok line);
+          check bool_t "but marked degraded" true
+            (json_member_bool line [ "result"; "degraded" ])
+      | _ -> assert false);
+      (* ...and the health surface reports the state in-band. *)
+      send_string b "!health\n";
+      (match read_lines ~expect:1 b with
+      | [ line ] ->
+          check string_t "health reports the open breaker" "open"
+            (json_member_string line [ "health"; "breaker"; "state" ]);
+          check int_t "health counts the inflight sheds" 3
+            (json_member_int line [ "health"; "shed"; "inflight" ])
+      | _ -> assert false);
+      (* The in-flight request still completes (recorded as a
+         straggler, ignored by the open breaker). *)
+      (match read_lines ~expect:1 a with
+      | [ line ] -> check bool_t "held request served" true (response_is_ok line)
+      | _ -> assert false);
+      close_quietly a;
+      close_quietly b;
+      let st = Net.Server.drain server in
+      check int_t "zero lost" 0 st.Net.Server.lost;
+      check int_t "brownout cache hit counted" 1 st.Net.Server.brownout_cached;
+      check int_t "brownout fallback counted" 1
+        st.Net.Server.brownout_degraded;
+      check int_t "inflight sheds counted" 3 st.Net.Server.shed_inflight)
+
+(* ------------------------------------------------------------------ *)
+(* Slowloris reclaim                                                   *)
+
+let test_slowloris_reclaim () =
+  (* Three connections fill the cap and never complete a frame — one
+     actively trickling bytes, two silent. The idle deadline must
+     reclaim all three (answering with the idle scope), after which a
+     fast client is admitted and served. *)
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.max_conns = 3;
+      idle_timeout_ms = 300.;
+      poll_interval_ms = 10.;
+    }
+  in
+  with_server ~config ~domains:1 (fun server ->
+      let port = Net.Server.port server in
+      let tricklers = Array.init 3 (fun _ -> connect port) in
+      Array.iter (fun fd -> send_string fd "{\"partial") tricklers;
+      wait_until "cap filled" (fun () ->
+          (Net.Server.stats server).Net.Server.conns_accepted = 3);
+      (* A fourth connection bounces off the cap while the tricklers
+         squat. *)
+      let extra = connect port in
+      (match read_lines ~until_eof:true ~expect:1 extra with
+      | [ line ] ->
+          check string_t "cap holds under slowloris" "connections"
+            (json_member_string line [ "error"; "scope" ])
+      | other ->
+          Alcotest.failf "expected 1 reject line, got %d" (List.length other));
+      close_quietly extra;
+      (* Keep trickling on conn 0 — the deadline is keyed to complete
+         frames, so byte drip must not keep the connection alive. *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        (Net.Server.stats server).Net.Server.idle_closed < 3
+        && Unix.gettimeofday () < deadline
+      do
+        (try send_string tricklers.(0) "x"
+         with Unix.Unix_error _ -> () (* already reclaimed *));
+        Unix.sleepf 0.03
+      done;
+      check int_t "all three reclaimed" 3
+        (Net.Server.stats server).Net.Server.idle_closed;
+      (* A silent trickler got the idle notice before the close. *)
+      (match read_lines ~until_eof:true ~expect:1 tricklers.(1) with
+      | line :: _ ->
+          check string_t "reclaimed with the idle scope" "idle"
+            (json_member_string line [ "error"; "scope" ])
+      | [] -> Alcotest.fail "expected an idle overload line");
+      Array.iter close_quietly tricklers;
+      wait_until "handler domains reclaimed" (fun () ->
+          (Net.Server.stats server).Net.Server.conns_active = 0);
+      (* The fast client now gets a connection, a slot, an answer. *)
+      let fd = connect port in
+      send_string fd (req "moldyn" ^ "\n");
+      (match read_lines ~expect:1 fd with
+      | [ line ] ->
+          check bool_t "fast client served after reclaim" true
+            (response_is_ok line)
+      | _ -> assert false);
+      close_quietly fd)
+
+(* ------------------------------------------------------------------ *)
+(* Health control line                                                 *)
+
+let test_health_control () =
+  with_server ~domains:1 (fun server ->
+      let fd = connect (Net.Server.port server) in
+      (* !health consumes no response id: the request after it is
+         still id 0. *)
+      send_string fd ("!health\n" ^ req "moldyn" ^ "\n");
+      (match read_lines ~expect:2 fd with
+      | [ health; resp ] ->
+          check bool_t "health line is JSON with a health object" true
+            (json_member_int health [ "health"; "admission"; "limit" ]
+            = Net.Server.default_config.Net.Server.max_inflight);
+          check bool_t "not draining" false
+            (json_member_bool health [ "health"; "draining" ]);
+          check string_t "breaker off by default" "off"
+            (json_member_string health [ "health"; "breaker" ]);
+          check bool_t "request after !health served" true
+            (response_is_ok resp);
+          check int_t "control line consumed no id" 0
+            (json_member_int resp [ "id" ])
+      | _ -> assert false);
+      (* Unknown control lines are answered, not dropped — and carry
+         id -1 so they can never be FIFO-confused with a request. *)
+      send_string fd "!bogus\n";
+      (match read_lines ~expect:1 fd with
+      | [ line ] ->
+          check string_t "unknown control rejected" "invalid_request"
+            (json_member_string line [ "error"; "kind" ]);
+          check int_t "with id -1" (-1) (json_member_int line [ "id" ])
+      | _ -> assert false);
+      close_quietly fd;
+      check int_t "controls are not requests" 1
+        (Net.Server.stats server).Net.Server.requests)
+
+(* ------------------------------------------------------------------ *)
+(* Server books under injected faults, many domains                    *)
+
+let test_server_fault_hammer () =
+  (* Four concurrent pipelining connections against a 50% fault rate:
+     every line must be answered and the books must close exactly —
+     requests = admitted + shed, admitted = completed. *)
+  let config =
+    { Net.Server.default_config with Net.Server.max_inflight = 4 }
+  in
+  let injection =
+    Service.Fault_injection.create ~seed:7
+      [
+        ( "compute",
+          Service.Fault_injection.Fail_rate
+            (0.5, Service.Fault.Transient "injected") );
+      ]
+  in
+  let resilience =
+    { Service.Resilience.default with Service.Resilience.max_retries = 0 }
+  in
+  with_server ~config ~injection ~resilience ~domains:4 (fun server ->
+      let port = Net.Server.port server in
+      let per_conn = 8 in
+      let client c () =
+        let fd = connect port in
+        let lines =
+          List.init per_conn (fun i ->
+              req ~scale:(0.05 +. (0.001 *. float_of_int ((c * per_conn) + i)))
+                "moldyn")
+        in
+        send_string fd (String.concat "\n" lines ^ "\n");
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let got = read_lines ~until_eof:true ~expect:per_conn fd in
+        close_quietly fd;
+        List.length got
+      in
+      let doms = Array.init 4 (fun c -> Domain.spawn (client c)) in
+      let answered = Array.fold_left (fun a d -> a + Domain.join d) 0 doms in
+      check int_t "every line answered" 32 answered;
+      let st = Net.Server.drain server in
+      check int_t "zero lost" 0 st.Net.Server.lost;
+      check int_t "admitted all completed" st.Net.Server.admitted
+        st.Net.Server.completed;
+      check int_t "requests = admitted + shed" st.Net.Server.requests
+        (st.Net.Server.admitted + st.Net.Server.shed_inflight))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos end to end: determinism across domain counts                  *)
+
+(* One full serving run under a seeded chaos plan: sequential client
+   connections (so connection ordinals are deterministic), raw
+   response byte streams collected until EOF. Returns the per-
+   connection streams plus the final stats. *)
+let chaos_scripts =
+  [
+    [ req "moldyn"; req "fmm"; "this is not json"; req ~scale:0.06 "moldyn" ];
+    [ req "moldyn"; req "swim"; req ~scale:0.07 "fmm" ];
+  ]
+
+let chaos_collect fd =
+  let b = Buffer.create 1024 in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "chaos run: timed out collecting responses";
+    match Unix.select [ fd ] [] [] 0.1 with
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | [], _, _ -> go ()
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes b buf 0 n;
+            go ()
+        | exception Unix.Unix_error (EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> ())
+  in
+  go ();
+  Buffer.contents b
+
+let chaos_run ~seed ~domains () =
+  let chaos =
+    Net.Chaos.create ~seed ~short_rate:0.4 ~reset_rate:0.35
+      ~reset_max_bytes:512 ~trickle_rate:0.2 ()
+  in
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.max_inflight = 8;
+      chaos;
+    }
+  in
+  let streams = ref [] in
+  let stats =
+    let result = ref None in
+    with_server ~config ~domains (fun server ->
+        let port = Net.Server.port server in
+        List.iter
+          (fun lines ->
+            let fd = connect port in
+            (try send_string fd (String.concat "\n" lines ^ "\n")
+             with Unix.Unix_error _ -> () (* chaos reset the conn *));
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            streams := chaos_collect fd :: !streams;
+            close_quietly fd)
+          chaos_scripts;
+        result := Some (Net.Server.drain server));
+    Option.get !result
+  in
+  (List.rev !streams, stats)
+
+let test_chaos_server_determinism () =
+  (* The acceptance bar of this harness: for each seed, the exact
+     response bytes every connection observes are identical at 1, 2, 4
+     and 8 worker domains — and no admitted request is ever lost, no
+     matter where the chaos cuts. *)
+  List.iter
+    (fun seed ->
+      let base_streams, base_stats = chaos_run ~seed ~domains:1 () in
+      check int_t
+        (Printf.sprintf "seed %d: zero lost at 1 domain" seed)
+        0 base_stats.Net.Server.lost;
+      List.iter
+        (fun nd ->
+          let streams, stats = chaos_run ~seed ~domains:nd () in
+          check int_t
+            (Printf.sprintf "seed %d: zero lost at %d domains" seed nd)
+            0 stats.Net.Server.lost;
+          check int_t
+            (Printf.sprintf "seed %d: admitted = completed at %d domains" seed
+               nd)
+            stats.Net.Server.admitted stats.Net.Server.completed;
+          check
+            (Alcotest.list string_t)
+            (Printf.sprintf "seed %d: identical bytes at %d domains" seed nd)
+            base_streams streams)
+        [ 2; 4; 8 ])
+    [ 11; 12; 13 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "net"
@@ -620,14 +1288,36 @@ let () =
           Alcotest.test_case "split points" `Quick test_frame_split_points;
           Alcotest.test_case "oversized lines" `Quick test_frame_oversized;
           Alcotest.test_case "contract" `Quick test_frame_contract;
+          Alcotest.test_case "seeded fuzz" `Quick test_frame_fuzz;
         ] );
       ( "admission",
         [
           Alcotest.test_case "basic" `Quick test_admission_basic;
           Alcotest.test_case "hammer" `Quick test_admission_hammer;
+          Alcotest.test_case "exception hammer" `Quick
+            test_admission_exception_hammer;
         ] );
       ( "fault",
         [ Alcotest.test_case "overload contract" `Quick test_overload_fault ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_chaos_spec;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_chaos_determinism;
+        ] );
+      ( "quota",
+        [
+          Alcotest.test_case "token bucket on a fake clock" `Quick
+            test_quota_clock;
+          Alcotest.test_case "per-client shed on the wire" `Quick
+            test_server_quota_shed;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "full cycle on a fake clock" `Quick
+            test_breaker_cycle;
+          Alcotest.test_case "brownout end to end" `Quick test_brownout;
+        ] );
       ( "server",
         [
           Alcotest.test_case "round-trip equivalence" `Quick
@@ -643,5 +1333,13 @@ let () =
           Alcotest.test_case "abrupt disconnect" `Quick
             test_abrupt_disconnect;
           Alcotest.test_case "connection cap" `Quick test_connection_cap;
+          Alcotest.test_case "slowloris reclaim" `Quick
+            test_slowloris_reclaim;
+          Alcotest.test_case "health control line" `Quick
+            test_health_control;
+          Alcotest.test_case "books under injected faults" `Quick
+            test_server_fault_hammer;
+          Alcotest.test_case "chaos determinism across domains" `Quick
+            test_chaos_server_determinism;
         ] );
     ]
