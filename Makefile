@@ -132,20 +132,23 @@ chaos-net:
 sweep:
 	dune exec bin/locmap_cli.exe -- sweep -w fmm,lu,fft -m 4x4,6x6 -d 4
 
-# Concurrency lint over the Pool-reachable sources (see Verify.Lint):
-# the serving layer, the pool itself, the observability instruments it
-# updates from worker domains, and the analysis fast path that pool
-# workers execute concurrently. Then a self-test: the seeded bad
-# fixture must still be flagged.
+# Concurrency lint (see Verify.Ast_lint): parsetree-based lock-order,
+# blocking-under-lock and domain-escape analysis, interprocedural over
+# a per-run call graph, scanning all of lib/, bin/ and bench/ (the
+# old target hand-listed "Pool-reachable" directories and had rotted).
+# Findings also land in lint_findings.json — the CI artifact. Then
+# the self-test gates: every AST rule must fire on its seeded fixture
+# and stay silent on the near-miss negative, and the lexical fallback
+# tier must still flag its own seeded fixture.
 lint:
-	dune exec bin/locmap_lint.exe -- lib/service lib/harness lib/par \
-	  lib/net lib/obs lib/core/analysis.ml lib/core/line_memo.ml \
-	  lib/core/mapper.ml
-	@if dune exec bin/locmap_lint.exe -- -q test/fixtures/lint \
-	    > /dev/null 2>&1; then \
-	  echo "lint self-test FAILED: seeded fixture not flagged"; exit 1; \
+	dune build bin/locmap_lint.exe
+	./_build/default/bin/locmap_lint.exe --json lint_findings.json
+	./_build/default/bin/locmap_lint.exe --selftest test/fixtures/ast_lint
+	@if ./_build/default/bin/locmap_lint.exe --no-ast -q \
+	    test/fixtures/lint > /dev/null 2>&1; then \
+	  echo "lexical self-test FAILED: seeded fixture not flagged"; exit 1; \
 	else \
-	  echo "lint self-test ok: seeded fixture flagged"; \
+	  echo "lexical self-test ok: seeded fixture flagged"; \
 	fi
 
 # Semantic verifier over every bundled workload, plus the negative

@@ -1,23 +1,54 @@
-(* locmap-lint — the concurrency lint over this repository's sources.
+(* locmap-lint — the concurrency analyzer over this repository's
+   sources.
 
-     locmap_lint lib/service lib/harness       # the Pool-reachable set
-     locmap_lint --require-mli lib             # full-tree interface audit
-     locmap_lint --no-contract test/fixtures   # mutable-state rules only
+     locmap_lint                               # AST rules over lib/ bin/ bench/
+     locmap_lint lib/net                       # one subtree
+     locmap_lint --lexical                     # add the lexical fallback tier
+     locmap_lint --json findings.json          # machine-readable CI artifact
+     locmap_lint --selftest test/fixtures/ast_lint   # seeded-rule gate
 
-   Exit status: 0 when clean, 1 when any finding, 2 on usage errors.
-   See [Verify.Lint] for the rules. *)
+   The default tier is [Verify.Ast_lint]: parsetree-based lock-order,
+   blocking-under-lock, and domain-escape analysis, interprocedural
+   over a per-run call graph. The PR-3 lexical scan ([Verify.Lint])
+   remains available as a fallback tier (--lexical, or alone with
+   --no-ast).
+
+   Exit status: 0 when clean, 1 when any finding (or a failed
+   self-test), 2 on usage errors. *)
 
 open Cmdliner
 
+let default_paths = [ "lib"; "bin"; "bench" ]
+
 let paths_arg =
   Arg.(
-    value
-    & pos_all string [ "lib/service"; "lib/harness" ]
+    value & pos_all string default_paths
     & info [] ~docv:"PATH"
         ~doc:
           "Directories (scanned recursively for .ml files) or single .ml \
-           files. Defaults to the Pool-reachable set: lib/service and \
-           lib/harness.")
+           files. Defaults to the whole tree: lib, bin and bench.")
+
+let exclude_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "exclude" ] ~docv:"PREFIX"
+        ~doc:
+          "Path prefix to skip (repeatable), e.g. --exclude lib/harness. \
+           $(i,_build) and dot-directories are always skipped.")
+
+let no_ast_arg =
+  Arg.(
+    value & flag
+    & info [ "no-ast" ]
+        ~doc:"Disable the AST analyses (lexical tier only; implies --lexical).")
+
+let lexical_arg =
+  Arg.(
+    value & flag
+    & info [ "lexical" ]
+        ~doc:
+          "Also run the lexical fallback tier (PR-3 token-scan rules: \
+           unguarded-global, mutable-field-no-mutex, ...).")
 
 let require_mli_arg =
   Arg.(
@@ -30,42 +61,106 @@ let no_contract_arg =
     value & flag
     & info [ "no-contract" ]
         ~doc:
-          "Do not require the .mli thread-safety contract comment (useful \
-           when scanning code outside the serving stack).")
+          "Do not require the .mli thread-safety contract on modules with \
+           a concurrency surface (useful when scanning code outside the \
+           serving stack).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write findings as JSON to $(docv) (\"-\" for stdout) — the CI \
+           artifact reviewers diff across PRs.")
+
+let selftest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "selftest" ] ~docv:"DIR"
+        ~doc:
+          "Run the seeded-fixture gate against $(docv): every AST rule \
+           must fire on its positive fixture and stay silent on the \
+           near-miss negative. No tree scan is performed.")
 
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print findings only.")
 
-let run paths require_mli no_contract quiet =
-  List.iter
-    (fun p ->
-      if not (Sys.file_exists p) then begin
-        Printf.eprintf "locmap_lint: no such path %S\n" p;
-        exit 2
-      end)
-    paths;
-  let findings =
-    Verify.Lint.scan_dirs ~require_contract:(not no_contract) ~require_mli
-      paths
-  in
-  List.iter
-    (fun f -> Format.printf "%a@." Verify.Lint.pp_finding f)
-    findings;
-  match findings with
-  | [] ->
-      if not quiet then
-        Printf.printf "lint: clean (%s)\n" (String.concat " " paths);
-      exit 0
-  | fs ->
-      if not quiet then Printf.printf "lint: %d finding(s)\n" (List.length fs);
-      exit 1
+let write_json path findings =
+  let body = Verify.Ast_lint.to_json findings in
+  if path = "-" then print_string body
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc body)
+  end
+
+let run paths exclude no_ast lexical require_mli no_contract json selftest
+    quiet =
+  match selftest with
+  | Some dir -> (
+      match Verify.Ast_lint.selftest ~dir with
+      | Ok msg ->
+          if not quiet then print_endline msg;
+          exit 0
+      | Error msg ->
+          Printf.eprintf "lint self-test FAILED:\n%s\n" msg;
+          exit 1)
+  | None ->
+      List.iter
+        (fun p ->
+          if not (Sys.file_exists p) then begin
+            Printf.eprintf "locmap_lint: no such path %S\n" p;
+            exit 2
+          end)
+        paths;
+      let ast_findings =
+        if no_ast then []
+        else
+          Verify.Ast_lint.scan_dirs
+            ~config:
+              {
+                Verify.Ast_lint.lock_rules = true;
+                escape_rules = true;
+                contract_rule = not no_contract;
+                require_mli;
+              }
+            ~exclude paths
+      in
+      let lexical_findings =
+        if lexical || no_ast then
+          (* The AST tier owns the contract rule; don't report it
+             twice when both tiers run. *)
+          Verify.Lint.scan_dirs ~require_contract:no_ast
+            ~require_mli:false paths
+        else []
+      in
+      let findings = ast_findings @ lexical_findings in
+      List.iter
+        (fun f -> Format.printf "%a@." Verify.Lint.pp_finding f)
+        findings;
+      Option.iter (fun p -> write_json p findings) json;
+      (match findings with
+      | [] ->
+          if not quiet then
+            Printf.printf "lint: clean (%s)\n" (String.concat " " paths);
+          exit 0
+      | fs ->
+          if not quiet then
+            Printf.printf "lint: %d finding(s)\n" (List.length fs);
+          exit 1)
 
 let () =
-  let doc = "concurrency lint for the locmap sources (see Verify.Lint)" in
+  let doc =
+    "concurrency analyzer for the locmap sources (see Verify.Ast_lint)"
+  in
   exit
     (Cmd.eval
        (Cmd.v
-          (Cmd.info "locmap_lint" ~version:"1.0.0" ~doc)
+          (Cmd.info "locmap_lint" ~version:"2.0.0" ~doc)
           Term.(
-            const run $ paths_arg $ require_mli_arg $ no_contract_arg
+            const run $ paths_arg $ exclude_arg $ no_ast_arg $ lexical_arg
+            $ require_mli_arg $ no_contract_arg $ json_arg $ selftest_arg
             $ quiet_arg)))

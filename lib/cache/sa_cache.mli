@@ -3,7 +3,11 @@
 
     One instance models an L1 data cache or one LLC (L2) bank. The
     implementation is imperative and allocation-free on the access path
-    — it sits in the innermost loop of the simulator. *)
+    — it sits in the innermost loop of the simulator.
+
+    {b Thread safety}: not thread-safe. A cache is private mutable
+    state of the engine run that created it; every simulation builds
+    its own instances and keeps them domain-confined. *)
 
 type t
 

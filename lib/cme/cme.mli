@@ -13,7 +13,12 @@
     The estimator is intentionally imperfect (conflict misses, warm-up
     and cross-nest reuse are invisible to it); the paper reports 76-93 %
     accuracy for its CME and we report the analogous measured error in
-    the Figure 7a/8a experiments. *)
+    the Figure 7a/8a experiments.
+
+    {b Thread safety}: not thread-safe. Estimation streams the trace
+    through per-call mutable cursors and scratch tables; each analysis
+    run owns its state, so concurrent runs must not share arguments or
+    results under mutation. *)
 
 module Reuse = Reuse
 (** Re-exported per-reference reuse analysis (the library module [Cme]

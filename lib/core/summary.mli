@@ -5,7 +5,12 @@
     the home bank) — the raw counts behind MAI, CAI and α. Summaries
     are produced either by the compile-time CME analysis (regular
     applications) or by the runtime inspector (irregular applications),
-    and in both cases consumed identically by the mapping algorithms. *)
+    and in both cases consumed identically by the mapping algorithms.
+
+    {b Thread safety}: not thread-safe. The count arrays are mutated
+    in place while a summary is being accumulated; a summary belongs
+    to the single analysis pass building it and is treated as
+    read-only once handed to the mappers. *)
 
 type t = {
   mc_counts : int array;  (** LLC misses destined to each MC *)

@@ -16,7 +16,12 @@
       dirty writebacks);
     - shared LLC (S-NUCA): request core→home bank, bank port
       serialisation, then either data bank→core (hit) or request
-      bank→MC, DRAM, data MC→bank→core (miss). *)
+      bank→MC, DRAM, data MC→bank→core (miss).
+
+    {b Thread safety}: not thread-safe. An engine run owns all of its
+    simulation state (caches, heap, network, DRAM, stats); the service
+    layer runs one simulation per request and never shares a run
+    across domains. *)
 
 type job = {
   trace : Ir.Trace.t;

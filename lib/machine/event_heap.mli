@@ -2,7 +2,10 @@
 
     Specialised to unboxed ints for speed: the engine pushes one event
     per shared-resource transaction. Ties are popped in unspecified
-    order (the simulator treats equal-time events as concurrent). *)
+    order (the simulator treats equal-time events as concurrent).
+
+    {b Thread safety}: not thread-safe. The heap is private to the
+    engine run that allocated it and is mutated without locks. *)
 
 type t
 

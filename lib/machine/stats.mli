@@ -3,7 +3,10 @@
     Mutable counters filled by the engine. [cycles] is the modelled
     execution time (barrier-synchronised, including any inspector
     overhead charged by the harness); network counters separate total
-    latency from its queueing (congestion) component. *)
+    latency from its queueing (congestion) component.
+
+    {b Thread safety}: not thread-safe. A stats record is written by
+    exactly one engine run and read only after that run returns. *)
 
 type t = {
   mutable cycles : int;

@@ -4,7 +4,11 @@
     evaluation: per-bank row-buffer hits vs. misses, bank-level
     parallelism, and channel serialisation of data bursts. Timings are
     expressed in core cycles at 1 GHz (Table 4: DDR3-1333; Figure 12:
-    DDR-4). *)
+    DDR-4).
+
+    {b Thread safety}: not thread-safe. Bank and channel occupancy are
+    mutated in place; each engine run builds its own per-MC instances
+    and keeps them domain-confined. *)
 
 type kind =
   | Ddr3_1333

@@ -144,11 +144,13 @@ type t = {
   breaker : Breaker.t option;
   stop : bool Atomic.t;
   lock : Mutex.t;  (** guards [conns], [dead], [next_conn_id] *)
-  drain_lock : Mutex.t;  (** serialises {!drain}; guards [final] *)
+  drain_lock : Mutex.t;  (** guards [final] and [draining] *)
+  drain_cv : Condition.t;  (** signals [final] becoming [Some _] *)
   conns : (int, conn) Hashtbl.t;
   dead : int Queue.t;
   mutable next_conn_id : int;
   mutable acceptor : unit Domain.t option;
+  mutable draining : bool;
   mutable final : stats option;
   c_conns_accepted : int Atomic.t;
   c_conns_rejected : int Atomic.t;
@@ -716,10 +718,12 @@ let create ?(config = default_config) ?metrics ?tracer ~api () =
       stop = Atomic.make false;
       lock = Mutex.create ();
       drain_lock = Mutex.create ();
+      drain_cv = Condition.create ();
       conns = Hashtbl.create 32;
       dead = Queue.create ();
       next_conn_id = 0;
       acceptor = None;
+      draining = false;
       final = None;
       c_conns_accepted = Atomic.make 0;
       c_conns_rejected = Atomic.make 0;
@@ -749,48 +753,70 @@ let live_conns t =
 
 let drain t =
   request_stop t;
-  Mutex.protect t.drain_lock (fun () ->
-      match t.final with
-      | Some s -> s
-      | None ->
-          (match t.acceptor with
-          | Some d ->
-              Domain.join d;
-              t.acceptor <- None
-          | None -> ());
-          let t0 = Obs.Clock.now_ns () in
-          let budget_ns =
-            Int64.of_float (t.cfg.drain_timeout_ms *. 1_000_000.)
-          in
-          let forced = ref false in
-          let rec wait () =
-            reap t;
-            match live_conns t with
-            | [] -> ()
-            | remaining ->
-                if
-                  (not !forced)
-                  && Int64.sub (Obs.Clock.now_ns ()) t0 > budget_ns
-                then begin
-                  (* Patience exhausted: shut the remaining sockets so
-                     idle handlers see EOF and wind down. A handler
-                     inside Api.submit is unaffected — its request
-                     still completes (the zero-loss guarantee); only
-                     the read side is cut short. *)
-                  forced := true;
-                  List.iter
-                    (fun c ->
-                      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
-                      with Unix.Unix_error _ -> ())
-                    remaining
-                end
-                else Unix.sleepf (t.cfg.poll_interval_ms /. 1000.);
-                wait ()
-          in
-          wait ();
-          let s = stats t in
+  (* Elect a single draining domain without holding [drain_lock]
+     across the blocking work (Domain.join / reap / sleeps): the
+     winner flips [draining] and releases the lock before joining
+     anything; latecomers wait on [drain_cv], which releases
+     [drain_lock] while they sleep. *)
+  let role =
+    Mutex.protect t.drain_lock (fun () ->
+        match t.final with
+        | Some s -> `Done s
+        | None ->
+            if t.draining then begin
+              while t.final = None do
+                Condition.wait t.drain_cv t.drain_lock
+              done;
+              `Done (Option.get t.final)
+            end
+            else begin
+              t.draining <- true;
+              `Winner
+            end)
+  in
+  match role with
+  | `Done s -> s
+  | `Winner ->
+      (* Only the winner reaches this point, so [acceptor] and the
+         wind-down below need no lock. *)
+      (match t.acceptor with
+      | Some d ->
+          Domain.join d;
+          t.acceptor <- None
+      | None -> ());
+      let t0 = Obs.Clock.now_ns () in
+      let budget_ns = Int64.of_float (t.cfg.drain_timeout_ms *. 1_000_000.) in
+      let forced = ref false in
+      let rec wait () =
+        reap t;
+        match live_conns t with
+        | [] -> ()
+        | remaining ->
+            if
+              (not !forced)
+              && Int64.sub (Obs.Clock.now_ns ()) t0 > budget_ns
+            then begin
+              (* Patience exhausted: shut the remaining sockets so
+                 idle handlers see EOF and wind down. A handler
+                 inside Api.submit is unaffected — its request
+                 still completes (the zero-loss guarantee); only
+                 the read side is cut short. *)
+              forced := true;
+              List.iter
+                (fun c ->
+                  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+                  with Unix.Unix_error _ -> ())
+                remaining
+            end
+            else Unix.sleepf (t.cfg.poll_interval_ms /. 1000.);
+            wait ()
+      in
+      wait ();
+      let s = stats t in
+      Mutex.protect t.drain_lock (fun () ->
           t.final <- Some s;
-          s)
+          Condition.broadcast t.drain_cv);
+      s
 
 let run t =
   while not (Atomic.get t.stop) do

@@ -9,7 +9,11 @@
     (Section 3.9).
 
     An [ideal] network transfers every packet in zero cycles — the
-    paper's Figure 2 upper bound. *)
+    paper's Figure 2 upper bound.
+
+    {b Thread safety}: not thread-safe. Link occupancy is mutated in
+    place as packets are routed; a network belongs to the single
+    engine run that created it. *)
 
 type t
 

@@ -1,0 +1,52 @@
+(** Per-run call graph of top-level bindings, for the AST lint.
+
+    Every [let]-bound name at the top level of a scanned file (or of a
+    nested [module M = struct .. end]) becomes a {!func} keyed by its
+    fully-qualified name ([Server.handle], [Pool.try_map],
+    [Api.Sub.f]). The interprocedural analyses ({!Lock_analysis})
+    resolve call sites against this table to propagate effects —
+    "calling [Api.submit] eventually blocks in [Condition.wait]" —
+    across function and library boundaries within one scan.
+
+    Resolution is purely syntactic (no typing, no [open] tracking): a
+    qualified path matches any scanned module name that is a suffix of
+    it, and an unqualified name matches the current module. Unresolved
+    calls (stdlib, parameters, closures) contribute no effects.
+
+    {b Thread safety}: values are immutable after {!build}. *)
+
+type func = {
+  fq : string;  (** fully-qualified: ["Server.handle"] *)
+  name : string;  (** last component *)
+  params : string list;
+      (** in order; labelled as ["~name"], optional as ["?name"] *)
+  body : Parsetree.expression;  (** after peeling the [fun] spine *)
+  line : int;  (** 1-based line of the binding *)
+  src : Ast_source.t;
+}
+
+type t = {
+  funcs : func list;
+  by_fq : (string, func) Hashtbl.t;
+  sources : Ast_source.t list;
+}
+
+val peel_params : Parsetree.expression -> string list * Parsetree.expression
+(** Split a binding RHS into its parameter names and inner body. *)
+
+val strip_param : string -> string
+(** Drop the ["~"]/["?"] label marker from a parameter name. *)
+
+val param_for_arg :
+  string list -> label:Asttypes.arg_label -> pos_index:int -> string option
+(** The stripped name of the declared parameter an argument binds to:
+    labelled arguments by label, the [pos_index]-th positional argument
+    by position among positional parameters. *)
+
+val build : Ast_source.t list -> t
+(** Index every parsed source; files with parse errors contribute no
+    functions. *)
+
+val resolve : t -> current_module:string -> Longident.t -> func list
+(** All known bindings a call-site identifier may refer to (empty for
+    stdlib and local names; several on module-name ambiguity). *)

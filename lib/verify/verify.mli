@@ -9,13 +9,20 @@
       [locmap check] CLI subcommand and the test suite share, and
       [Locmap.Mapper.map ~verify:true] asserts the same invariants at
       each pipeline phase boundary;
-    - the {e concurrency lint} ({!Lint}) scans [lib/service] and
-      [lib/harness] sources for shared mutable state reachable from
-      [Service.Pool] workers without a mutex, and for missing
-      thread-safety contracts ([bin/locmap_lint.ml], [make lint]).
+    - the {e concurrency analyzer} ({!Ast_lint} over {!Ast_source} /
+      {!Callgraph} / {!Lock_analysis} / {!Escape_analysis}): a
+      parsetree-based, interprocedural analysis of lock order,
+      blocking-under-lock, and domain-escape across the repository's
+      sources ([bin/locmap_lint.ml], [make lint]). The older lexical
+      token scan ({!Lint}) is kept as a fallback tier.
 
     {b Thread safety}: stateless; see the submodule contracts. *)
 
 include module type of Semantic
 
 module Lint : module type of Lint
+module Ast_source : module type of Ast_source
+module Callgraph : module type of Callgraph
+module Lock_analysis : module type of Lock_analysis
+module Escape_analysis : module type of Escape_analysis
+module Ast_lint : module type of Ast_lint

@@ -1,0 +1,19 @@
+(* Near-miss negative: the same operations, correctly structured.
+   [poll] sleeps after releasing the lock; [await] blocks in
+   [Condition.wait] on its own mutex — which releases it, the intended
+   use — so neither is a blocking-under-lock hazard. *)
+
+let lock = Mutex.create ()
+let cv = Condition.create ()
+let pending = ref []
+
+let poll () =
+  let n = Mutex.protect lock (fun () -> List.length !pending) in
+  Unix.sleepf 0.01;
+  n
+
+let await () =
+  Mutex.protect lock (fun () ->
+      while !pending = [] do
+        Condition.wait cv lock
+      done)

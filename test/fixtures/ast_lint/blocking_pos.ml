@@ -1,0 +1,16 @@
+(* Seeded positive: [poll] sleeps and [join_all] joins domains while
+   holding the mutex — both can block every other thread that wants
+   [lock] indefinitely. The lint must report blocking-under-lock. *)
+
+let lock = Mutex.create ()
+let pending = ref []
+
+let poll () =
+  Mutex.protect lock (fun () ->
+      Unix.sleepf 0.01;
+      List.length !pending)
+
+let join_all () =
+  Mutex.protect lock (fun () ->
+      List.iter Domain.join !pending;
+      pending := [])

@@ -1,0 +1,18 @@
+(* Near-miss negative: both paths acquire [a] then [b] — same nesting
+   as the positive fixture, but with a consistent global order, so
+   there is no cycle and no finding. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+let balance = ref 0
+let log = ref 0
+
+let transfer n =
+  Mutex.protect a (fun () ->
+      Mutex.protect b (fun () ->
+          balance := !balance - n;
+          log := !log + 1))
+
+let audit () =
+  Mutex.protect a (fun () ->
+      Mutex.protect b (fun () -> !balance + !log))

@@ -1,0 +1,18 @@
+(* Seeded positive: the classic ABBA deadlock. [transfer] nests
+   [a] -> [b]; [audit] nests [b] -> [a]. The acquisition-order graph
+   has the cycle {a, b} and the lint must report lock-order-cycle. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+let balance = ref 0
+let log = ref 0
+
+let transfer n =
+  Mutex.protect a (fun () ->
+      Mutex.protect b (fun () ->
+          balance := !balance - n;
+          log := !log + 1))
+
+let audit () =
+  Mutex.protect b (fun () ->
+      Mutex.protect a (fun () -> !balance + !log))

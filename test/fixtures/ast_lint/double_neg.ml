@@ -1,0 +1,12 @@
+(* Near-miss negative: the same [add] -> [size] call chain, but the
+   critical section ends before the nested call — sequential
+   acquisitions of one mutex are fine. *)
+
+let lock = Mutex.create ()
+let items = Queue.create ()
+
+let size () = Mutex.protect lock (fun () -> Queue.length items)
+
+let add x =
+  Mutex.protect lock (fun () -> Queue.push x items);
+  size ()

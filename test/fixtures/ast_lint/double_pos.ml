@@ -1,0 +1,13 @@
+(* Seeded positive: [size] takes the lock; [add] calls it while
+   already holding the same (non-reentrant) mutex. The interprocedural
+   step must report double-acquire at the call site. *)
+
+let lock = Mutex.create ()
+let items = Queue.create ()
+
+let size () = Mutex.protect lock (fun () -> Queue.length items)
+
+let add x =
+  Mutex.protect lock (fun () ->
+      Queue.push x items;
+      size ())

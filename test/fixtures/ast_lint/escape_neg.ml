@@ -1,0 +1,12 @@
+(* Near-miss negative: the same spawned-counter shape, but every
+   captured value is safe — [hits] is only touched under its mutex and
+   [total] is an [Atomic.t] — so there is no domain-escape finding. *)
+
+let lock = Mutex.create ()
+let hits = ref 0
+let total = Atomic.make 0
+
+let spawn_counter () =
+  Domain.spawn (fun () ->
+      Mutex.protect lock (fun () -> hits := !hits + 1);
+      Atomic.incr total)

@@ -1,0 +1,8 @@
+(* Seeded positive: the closure handed to [Domain.spawn] captures the
+   top-level mutable [hits] and mutates it with no lock held — a data
+   race with the submitting domain. The lint must report
+   domain-escape. *)
+
+let hits = ref 0
+
+let spawn_counter () = Domain.spawn (fun () -> hits := !hits + 1)

@@ -540,6 +540,45 @@ let test_graceful_drain () =
           Alcotest.fail "expected connection refused after drain"
       | exception Unix.Unix_error (ECONNREFUSED, _, _) -> ())
 
+let test_concurrent_drain () =
+  (* Several domains race to drain. One wins and does the blocking
+     work with no lock held; the latecomers wait on the condition
+     variable and must all come back with the winner's final stats —
+     not deadlock on a drain_lock held across Domain.join. *)
+  let injection =
+    Service.Fault_injection.create
+      [ ("compute", Service.Fault_injection.Slow 150.) ]
+  in
+  with_server ~injection ~domains:2 (fun server ->
+      let fd = connect (Net.Server.port server) in
+      send_string fd (req "moldyn" ^ "\n");
+      wait_until "request admitted" (fun () ->
+          (Net.Server.stats server).Net.Server.admitted = 1);
+      Net.Server.request_stop server;
+      let drains =
+        List.init 3 (fun _ ->
+            Domain.spawn (fun () -> Net.Server.drain server))
+      in
+      (match read_lines ~expect:1 fd with
+      | [ line ] ->
+          check bool_t "in-flight request answered during drain" true
+            (response_is_ok line)
+      | _ -> assert false);
+      let stats = List.map Domain.join drains in
+      close_quietly fd;
+      match stats with
+      | first :: rest ->
+          check int_t "zero admitted requests lost" 0
+            first.Net.Server.lost;
+          check int_t "the one request completed" 1
+            first.Net.Server.completed;
+          List.iter
+            (fun s ->
+              check bool_t "latecomers return the winner's stats" true
+                (s = first))
+            rest
+      | [] -> assert false)
+
 let test_drain_sheds_buffered_frames () =
   (* A frame that is already buffered when the stop lands is answered
      with a retryable draining fault, not silently dropped. *)
@@ -1328,6 +1367,7 @@ let () =
             test_oversized_line_on_wire;
           Alcotest.test_case "overload shed" `Quick test_overload_shed;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "concurrent drain" `Quick test_concurrent_drain;
           Alcotest.test_case "drain sheds buffered frames" `Quick
             test_drain_sheds_buffered_frames;
           Alcotest.test_case "abrupt disconnect" `Quick
