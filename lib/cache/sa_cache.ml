@@ -2,6 +2,8 @@ type t = {
   line_size : int;
   sets : int;
   assoc : int;
+  line_shift : int;  (* log2 line_size when pow2 geometry, else -1 *)
+  set_mask : int;  (* sets - 1 when pow2 geometry *)
   tags : int array;  (* sets * assoc; -1 = invalid; tag = line index *)
   dirty : Bytes.t;
   stamp : int array;  (* LRU timestamps *)
@@ -25,10 +27,23 @@ let create ~size ~assoc ~line_size () =
   if lines = 0 || lines mod assoc <> 0 then
     invalid_arg "Sa_cache.create: size not divisible into sets";
   let sets = lines / assoc in
+  (* Real geometries are powers of two; shift/mask then replaces the
+     division and modulo on every lookup. A degenerate hand-built
+     geometry keeps the arithmetic path. *)
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  let line_shift =
+    if pow2 line_size && pow2 sets then begin
+      let rec log2 s = if 1 lsl s >= line_size then s else log2 (s + 1) in
+      log2 0
+    end
+    else -1
+  in
   {
     line_size;
     sets;
     assoc;
+    line_shift;
+    set_mask = sets - 1;
     tags = Array.make lines (-1);
     dirty = Bytes.make lines '\000';
     stamp = Array.make lines 0;
@@ -38,10 +53,16 @@ let create ~size ~assoc ~line_size () =
     writebacks = 0;
   }
 
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line_size
+
+let set_of t line =
+  if t.line_shift >= 0 then line land t.set_mask else line mod t.sets
+
 let access t ~addr ~write =
   if addr < 0 then invalid_arg "Sa_cache.access: negative address";
-  let line = addr / t.line_size in
-  let set = line mod t.sets in
+  let line = line_of t addr in
+  let set = set_of t line in
   let base = set * t.assoc in
   t.clock <- t.clock + 1;
   (* Search the set for a hit, remembering the LRU (or an invalid)
@@ -79,16 +100,57 @@ let access t ~addr ~write =
     Miss { victim_line_addr; victim_dirty }
   end
 
+(* [access] for callers that only branch on hit/miss: identical state
+   transitions (clock, LRU stamps, dirtiness, counters — interleaving
+   with [access] is exact), but no result block is allocated. This is
+   the replay inner loop's variant: its allocation-budget test requires
+   zero words allocated per access. *)
+let access_hit t ~addr ~write =
+  if addr < 0 then invalid_arg "Sa_cache.access_hit: negative address";
+  let line = line_of t addr in
+  let set = set_of t line in
+  let base = set * t.assoc in
+  t.clock <- t.clock + 1;
+  let found = ref (-1) in
+  let victim = ref (-1) in
+  let oldest = ref max_int in
+  let invalid = ref (-1) in
+  for w = base to base + t.assoc - 1 do
+    if t.tags.(w) = line then found := w
+    else if t.tags.(w) = -1 then invalid := w
+    else if t.stamp.(w) < !oldest then begin
+      oldest := t.stamp.(w);
+      victim := w
+    end
+  done;
+  if !found >= 0 then begin
+    let w = !found in
+    t.stamp.(w) <- t.clock;
+    if write then Bytes.unsafe_set t.dirty w '\001';
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    let w = if !invalid >= 0 then !invalid else !victim in
+    if t.tags.(w) >= 0 && Bytes.unsafe_get t.dirty w = '\001' then
+      t.writebacks <- t.writebacks + 1;
+    t.tags.(w) <- line;
+    Bytes.unsafe_set t.dirty w (if write then '\001' else '\000');
+    t.stamp.(w) <- t.clock;
+    t.misses <- t.misses + 1;
+    false
+  end
+
 let probe t ~addr =
-  let line = addr / t.line_size in
-  let set = line mod t.sets in
+  let line = line_of t addr in
+  let set = set_of t line in
   let base = set * t.assoc in
   let rec go w = w < base + t.assoc && (t.tags.(w) = line || go (w + 1)) in
   go base
 
 let invalidate t ~addr =
-  let line = addr / t.line_size in
-  let set = line mod t.sets in
+  let line = line_of t addr in
+  let set = set_of t line in
   let base = set * t.assoc in
   for w = base to base + t.assoc - 1 do
     if t.tags.(w) = line then begin

@@ -32,6 +32,14 @@ val access : t -> addr:int -> write:bool -> result
     installing it on a miss (write-allocate) and marking it dirty on a
     write. LRU state is updated. *)
 
+val access_hit : t -> addr:int -> write:bool -> bool
+(** [access] for callers that only branch on hit ([true]) vs miss
+    ([false]): identical state transitions — interleaving with
+    {!access} on the same cache is exact — but no victim information
+    and {e no allocation}. The analysis replay's inner loop uses this;
+    its allocation-budget test requires zero words allocated per
+    access. *)
+
 val probe : t -> addr:int -> bool
 (** [probe t ~addr] is [true] iff the line is resident. Does not update
     LRU or statistics — for inspection only. *)

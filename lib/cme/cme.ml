@@ -1,4 +1,5 @@
 module Reuse = Reuse
+module Symbolic = Symbolic
 
 type outcome =
   | L1_hit

@@ -24,6 +24,10 @@ module Reuse = Reuse
 (** Re-exported per-reference reuse analysis (the library module [Cme]
     doubles as the library's root module). *)
 
+module Symbolic = Symbolic
+(** Re-exported trace-free closed-form solver over the periods this
+    module derives. *)
+
 type outcome =
   | L1_hit
   | Llc_hit
@@ -72,6 +76,10 @@ val l1_period : t -> int -> int
 
 val llc_period : t -> int -> int
 (** LLC miss period among the reference's L1 misses. *)
+
+val cold_only : int
+(** The cold-miss-only period sentinel ([max_int]) returned by
+    {!l1_period} and {!llc_period}. *)
 
 val fits_llc : t -> bool
 (** Whether the capacity test classified the nest as LLC-resident. *)

@@ -13,15 +13,26 @@
 
     {b Fast path}: both functions resolve per-access locations through
     a {!Line_memo} (one array load instead of a
-    translate/bank/region/MC recomputation). The CME path exploits the
-    estimator's closed form ({!Cme.l1_period}): L1 hits are
-    bulk-counted arithmetically per (set, reference), only the
-    LLC-reaching executions are visited ({!Ir.Trace.iter_body_periodic}),
-    and all-miss references aggregate same-line runs of parallel
-    iterations into single bulk updates
-    ({!Ir.Trace.iter_body_line_blocks}). The observed path expands the
-    trace in chunks through {!Ir.Trace.fill_range} into a reusable flat
-    buffer, replacing a closure call per access with a flat array walk.
+    translate/bank/region/MC recomputation). The CME path dispatches
+    each (set, reference) to one of three tiers:
+
+    - {e symbolic} — pure-affine references with a {!Cme.Symbolic.plan}
+      never touch the trace: the set's LLC hits and misses are address
+      arithmetic progressions resolved against the memo (and its
+      location prefix tables), at cost independent of the execution
+      count;
+    - {e periodic} — affine references beyond the plan caps bulk-count
+      L1 hits arithmetically and visit only the LLC-reaching executions
+      ({!Ir.Trace.iter_body_periodic}), or aggregate all-miss same-line
+      runs into bulk updates ({!Ir.Trace.iter_body_line_blocks});
+    - {e traced} — index-array references have no closed form and
+      expand their stream as line blocks.
+
+    The observed path streams the trace through a preallocated scratch
+    walker ({!Ir.Trace.iter_range_s}) and the allocation-free
+    {!Cache.Sa_cache.access_hit}, with the translation branch hoisted
+    out when the layout has no remaps; its inner loop allocates zero
+    words per access (enforced by the replay allocation-budget test).
     Callers that summarise the same trace more than once — {!Mapper.map}
     runs the CME path and up to two observed replays — should build the
     memo once and pass it to every call.
@@ -48,6 +59,7 @@ val cme_summaries :
   ?pool:Par.Pool.t ->
   ?memo:Line_memo.t ->
   ?metrics:Obs.Metrics.t ->
+  ?symbolic:bool ->
   Machine.Config.t ->
   Machine.Addr_map.t ->
   Ir.Trace.t ->
@@ -56,17 +68,26 @@ val cme_summaries :
 (** [memo], when given, must have been built from the same config,
     address map and layout (as {!Mapper.map} does); the default builds
     a fresh one. [pool], when given with more than one domain, shards
-    sets across its workers.
+    sets across its workers. [symbolic:false] (default [true]) disables
+    the trace-free tier, forcing every affine reference onto the
+    periodic walkers — the results are byte-identical either way (the
+    equivalence tests check this); the flag exists for that cross-check
+    and for timing the tiers against each other.
 
-    [metrics] feeds four fast-path counters —
+    [metrics] feeds the fast-path counters —
     [locmap_cme_accesses_total] (executions folded by the closed form),
     [locmap_cme_bulk_l1_hits_total] (L1 hits counted without visiting),
-    [locmap_cme_visited_total] (executions visited individually) and
-    [locmap_cme_line_block_updates_total] (bulk line-block updates) —
-    accumulated as plain ints per shard range and flushed once per
+    [locmap_cme_visited_total] (executions visited individually),
+    [locmap_cme_line_block_updates_total] (bulk line-block updates) and
+    the per-tier coverage counters
+    [locmap_cme_tier_symbolic_accesses_total],
+    [locmap_cme_tier_periodic_accesses_total] and
+    [locmap_cme_tier_traced_accesses_total] (every access lands in
+    exactly one tier, so the three sum to [locmap_cme_accesses_total])
+    — accumulated as plain ints per shard range and flushed once per
     range, so the hot loops never touch an atomic and the results stay
-    byte-identical with instrumentation on. Memo location lookups are
-    [visited + line_blocks]; combined with
+    byte-identical with instrumentation on. Memo location lookups on
+    the walking tiers are [visited + line_blocks]; combined with
     [locmap_line_memo_fallback_lookups_total] (registered on the memo
     it builds, or by the caller on a passed-in memo) this gives the
     memo hit rate [1 - fallbacks / lookups]. *)

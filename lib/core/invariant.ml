@@ -125,6 +125,81 @@ let summaries ~where (ss : Summary.t array) =
     ss;
   all (List.rev !bad)
 
+(* Counting conservation over raw summaries. The distribution checks
+   above only see normalised vectors; these see the integers, which is
+   where a bulk-arithmetic tier (progression resolution, prefix-table
+   adds, the execution-0 reclassification) would leak an off-by-one —
+   e.g. a negative region count survives normalisation unseen when the
+   row still sums right. *)
+let summary_totals ~where ~shared ~expected_accesses (ss : Summary.t array) =
+  let bad = ref [] in
+  let add d = bad := d :: !bad in
+  if Array.length expected_accesses <> Array.length ss then
+    add
+      (diag ~where ~invariant:"summary-totals"
+         "%d summaries but %d expected access counts" (Array.length ss)
+         (Array.length expected_accesses))
+  else
+    Array.iteri
+      (fun k s ->
+        let w = Printf.sprintf "%s: set %d" where k in
+        let sum = Array.fold_left ( + ) 0 in
+        let nonneg name a =
+          Array.iteri
+            (fun j x ->
+              if x < 0 then
+                add
+                  (diag ~where:w ~invariant:"summary-nonnegative"
+                     "%s entry %d is negative (%d)" name j x))
+            a
+        in
+        nonneg "mc_counts" s.Summary.mc_counts;
+        nonneg "region_counts" s.Summary.region_counts;
+        nonneg "miss_region_counts" s.Summary.miss_region_counts;
+        List.iter
+          (fun (name, v) ->
+            if v < 0 then
+              add
+                (diag ~where:w ~invariant:"summary-nonnegative"
+                   "%s is negative (%d)" name v))
+          [
+            ("l1_hits", s.Summary.l1_hits);
+            ("llc_hits", s.Summary.llc_hits);
+            ("llc_misses", s.Summary.llc_misses);
+          ];
+        if Summary.accesses s <> expected_accesses.(k) then
+          add
+            (diag ~where:w ~invariant:"summary-totals"
+               "l1_hits + llc_hits + llc_misses = %d, but the set executes \
+                %d accesses"
+               (Summary.accesses s) expected_accesses.(k));
+        if sum s.Summary.mc_counts <> s.Summary.llc_misses then
+          add
+            (diag ~where:w ~invariant:"summary-totals"
+               "mc_counts sum to %d but llc_misses = %d"
+               (sum s.Summary.mc_counts) s.Summary.llc_misses);
+        if sum s.Summary.region_counts <> s.Summary.llc_hits then
+          add
+            (diag ~where:w ~invariant:"summary-totals"
+               "region_counts sum to %d but llc_hits = %d"
+               (sum s.Summary.region_counts)
+               s.Summary.llc_hits);
+        let mrc = sum s.Summary.miss_region_counts in
+        if shared then begin
+          if mrc <> s.Summary.llc_misses then
+            add
+              (diag ~where:w ~invariant:"summary-totals"
+                 "miss_region_counts sum to %d but llc_misses = %d (shared \
+                  LLC)"
+                 mrc s.Summary.llc_misses)
+        end
+        else if mrc <> 0 then
+          add
+            (diag ~where:w ~invariant:"summary-totals"
+               "miss_region_counts sum to %d on a private LLC" mrc))
+      ss;
+  List.rev !bad
+
 let tables ~where ~num_regions t =
   let bad = ref [] in
   for r = 0 to num_regions - 1 do

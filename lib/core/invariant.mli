@@ -64,6 +64,22 @@ val summaries : where:string -> Summary.t array -> diagnostic list
 (** Per set: MAI, CAI and shared-LLC MAI distributions valid and
     α ∈ [0, 1]. *)
 
+val summary_totals :
+  where:string ->
+  shared:bool ->
+  expected_accesses:int array ->
+  Summary.t array ->
+  diagnostic list
+(** Counting conservation over the raw summaries, which the
+    (normalised) {!summaries} checks cannot see: every count
+    non-negative, [l1_hits + llc_hits + llc_misses] equal to the set's
+    access count, [mc_counts] summing to [llc_misses], [region_counts]
+    summing to [llc_hits], and [miss_region_counts] summing to
+    [llc_misses] on a shared LLC (zero on a private one). These are the
+    integers the bulk-arithmetic CME tiers produce without visiting
+    accesses, so this is the check that catches a progression counted
+    twice or an execution-0 reclassification gone negative. *)
+
 val tables : where:string -> num_regions:int -> Assign.t -> diagnostic list
 (** MAC and CAC of every region are distributions, and every pairwise
     η(MAC r, MAC r′) and η(CAC r, CAC r′) lies in [0, 1]. *)

@@ -9,6 +9,22 @@ let mc_of_loc loc = loc lsr 42
    walk they save; larger layouts fall back to direct computation. *)
 let max_lines = 1 lsl 22
 
+(* Location prefix sums over one verified period (or the whole
+   footprint when the pattern is aperiodic but small): the symbolic
+   CME tier resolves a contiguous line range's per-MC / per-region
+   counts in O(1) per class instead of walking the lines. *)
+type prefix = {
+  period : int;  (* lines; pattern verified to repeat at this period *)
+  mc_pre : int array array;  (* per MC: running count over one period *)
+  region_pre : int array array;
+  mc_tot : int array;  (* per-period totals *)
+  region_tot : int array;
+}
+
+(* A prefix beyond this period would cost more to build and hold than
+   the enumeration it replaces. *)
+let max_prefix_lines = 1 lsl 16
+
 type t = {
   amap : Machine.Addr_map.t;
   regions : Region.t;
@@ -27,6 +43,10 @@ type t = {
          instead of dividing. *)
   phys : int array;  (* line -> physical line *)
   loc : int array;  (* line -> pack ~mc ~region ~node *)
+  identity : bool;  (* translation is the identity over the footprint *)
+  num_mcs : int;
+  num_regions : int;
+  prefix : prefix option;
   fallbacks : Obs.Metrics.counter option;
       (* Counted only on the slow (non-memoized) branch, so the memo
          hit path stays a pure array load. *)
@@ -35,6 +55,71 @@ type t = {
 let log2_of line_size =
   let rec go s = if 1 lsl s >= line_size then s else go (s + 1) in
   go 0
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+(* Builds prefix sums over [period] lines of [loc], assuming the caller
+   verified (or will trivially satisfy, when [period = num_lines]) that
+   the pattern repeats. *)
+let build_prefix loc ~period ~num_mcs ~num_regions =
+  let mc_pre = Array.init num_mcs (fun _ -> Array.make (period + 1) 0) in
+  let region_pre =
+    Array.init num_regions (fun _ -> Array.make (period + 1) 0)
+  in
+  for l = 0 to period - 1 do
+    let p = loc.(l) in
+    let mc = mc_of_loc p and rg = region_of_loc p in
+    for m = 0 to num_mcs - 1 do
+      mc_pre.(m).(l + 1) <- mc_pre.(m).(l) + if m = mc then 1 else 0
+    done;
+    for r = 0 to num_regions - 1 do
+      region_pre.(r).(l + 1) <- region_pre.(r).(l) + if r = rg then 1 else 0
+    done
+  done;
+  {
+    period;
+    mc_pre;
+    region_pre;
+    mc_tot = Array.map (fun pre -> pre.(period)) mc_pre;
+    region_tot = Array.map (fun pre -> pre.(period)) region_pre;
+  }
+
+(* The location pattern of every structured address map is periodic in
+   the line index: bank interleaving cycles with the node count and MC
+   selection with [num_mcs] pages, so — under identity translation —
+   the candidate period is their lcm. Rather than trusting any per-map
+   derivation, the pattern is *verified* against the eager table; a map
+   that breaks it (hash-interleaved, remapped pages) just degrades to
+   the whole-footprint table or to no prefix at all. *)
+let make_prefix (cfg : Machine.Config.t) ~num_lines ~num_mcs ~num_regions
+    ~line_size loc =
+  let nodes = Machine.Config.num_cores cfg in
+  let candidate =
+    if cfg.page_size mod line_size = 0 then
+      lcm nodes (cfg.page_size / line_size * num_mcs)
+    else num_lines
+  in
+  let periodic_at p =
+    p < num_lines
+    && begin
+         let ok = ref true in
+         (try
+            for l = p to num_lines - 1 do
+              if loc.(l) <> loc.(l - p) then begin
+                ok := false;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         !ok
+       end
+  in
+  if candidate <= max_prefix_lines && periodic_at candidate then
+    Some (build_prefix loc ~period:candidate ~num_mcs ~num_regions)
+  else if num_lines <= max_prefix_lines then
+    Some (build_prefix loc ~period:num_lines ~num_mcs ~num_regions)
+  else None
 
 let create ?metrics (cfg : Machine.Config.t) amap layout =
   let fallbacks =
@@ -57,6 +142,8 @@ let create ?metrics (cfg : Machine.Config.t) amap layout =
     && num_lines <= max_lines && num_lines > 0
   in
   let line_shift = if pow2 then log2_of line_size else 0 in
+  let num_mcs = Machine.Addr_map.num_mcs amap in
+  let num_regions = Region.count regions in
   if not exact then
     {
       amap;
@@ -68,15 +155,21 @@ let create ?metrics (cfg : Machine.Config.t) amap layout =
       exact;
       phys = [||];
       loc = [||];
+      identity = false;
+      num_mcs;
+      num_regions;
+      prefix = None;
       fallbacks;
     }
   else begin
     let phys = Array.make num_lines 0 in
     let loc = Array.make num_lines 0 in
+    let identity = ref true in
     for l = 0 to num_lines - 1 do
       let pa = Machine.Addr_map.translate amap (l * line_size) in
       let node = Machine.Addr_map.bank_node_of amap pa in
       phys.(l) <- pa / line_size;
+      if pa <> l * line_size then identity := false;
       loc.(l) <-
         pack
           ~mc:(Machine.Addr_map.mc_of amap pa)
@@ -93,6 +186,10 @@ let create ?metrics (cfg : Machine.Config.t) amap layout =
       exact;
       phys;
       loc;
+      identity = !identity;
+      num_mcs;
+      num_regions;
+      prefix = make_prefix cfg ~num_lines ~num_mcs ~num_regions ~line_size loc;
       fallbacks;
     }
   end
@@ -100,6 +197,7 @@ let create ?metrics (cfg : Machine.Config.t) amap layout =
 let addr_map t = t.amap
 let regions t = t.regions
 let line_size t = t.line_size
+let line_shift t = t.line_shift
 let num_lines t = t.num_lines
 let memoized t = t.exact
 
@@ -128,3 +226,54 @@ let translate t va =
 let bank_node_of t va = node_of_loc (loc_of t va)
 let region_of t va = region_of_loc (loc_of t va)
 let mc_of t va = mc_of_loc (loc_of t va)
+let identity_translation t = t.identity
+let num_mcs t = t.num_mcs
+let num_regions t = t.num_regions
+let prefix_available t = t.prefix <> None
+
+(* Count of lines of class [pre] in [0, x): whole periods contribute
+   the per-period total, the remainder reads one prefix cell. *)
+let check_range t ~lo ~hi =
+  if lo < 0 || hi < lo || hi > t.num_lines then
+    invalid_arg "Line_memo: line range outside the memoized footprint"
+
+(* The per-bin count over [lo, hi) is a prefix difference; the cycle
+   quotients and remainders depend only on the boundaries, so they are
+   computed once per call, not once per bin — these run per resolved
+   progression in the symbolic tier, where a division per bin was the
+   single largest cost. *)
+let add_mc_line_counts t ~lo ~hi ~weight into =
+  check_range t ~lo ~hi;
+  match t.prefix with
+  | None -> invalid_arg "Line_memo.add_mc_line_counts: no prefix tables"
+  | Some p ->
+      let cycles = (hi / p.period) - (lo / p.period) in
+      let rhi = hi mod p.period and rlo = lo mod p.period in
+      for m = 0 to t.num_mcs - 1 do
+        let pre = Array.unsafe_get p.mc_pre m in
+        let n =
+          (cycles * Array.unsafe_get p.mc_tot m)
+          + Array.unsafe_get pre rhi - Array.unsafe_get pre rlo
+        in
+        into.(m) <- into.(m) + (weight * n)
+      done
+
+let add_region_line_counts t ~lo ~hi ~weight into =
+  check_range t ~lo ~hi;
+  match t.prefix with
+  | None -> invalid_arg "Line_memo.add_region_line_counts: no prefix tables"
+  | Some p ->
+      let cycles = (hi / p.period) - (lo / p.period) in
+      let rhi = hi mod p.period and rlo = lo mod p.period in
+      for r = 0 to t.num_regions - 1 do
+        let pre = Array.unsafe_get p.region_pre r in
+        let n =
+          (cycles * Array.unsafe_get p.region_tot r)
+          + Array.unsafe_get pre rhi - Array.unsafe_get pre rlo
+        in
+        into.(r) <- into.(r) + (weight * n)
+      done
+
+let loc_of_line t l =
+  if t.exact && l >= 0 && l < t.num_lines then Array.unsafe_get t.loc l
+  else loc_of t (l * t.line_size)

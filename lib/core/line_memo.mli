@@ -49,6 +49,11 @@ val regions : t -> Region.t
 val line_size : t -> int
 (** The memo granularity: the config's [l2_line]. *)
 
+val line_shift : t -> int
+(** log2 of {!line_size} when the memo is {!memoized} (the line size is
+    then a power of two); 0 for degenerate memos. Lets hot callers
+    shift instead of divide. *)
+
 val num_lines : t -> int
 (** Lines covered by the eager tables (0 when degenerate). *)
 
@@ -80,3 +85,45 @@ val node_of_loc : int -> int
 val region_of_loc : int -> int
 
 val mc_of_loc : int -> int
+
+val loc_of_line : t -> int -> int
+(** Packed location of line index [l] (i.e. of address
+    [l * line_size]) — the symbolic tier's unit of lookup. *)
+
+val identity_translation : t -> bool
+(** True when virtual-to-physical translation is the identity over the
+    whole memoized footprint (no page remaps) — the observed replay
+    skips {!translate} entirely then. False whenever the memo is
+    degenerate. *)
+
+val num_mcs : t -> int
+
+val num_regions : t -> int
+
+(** {2 Location prefix tables}
+
+    The symbolic CME tier reduces an iteration set's misses and hits to
+    address arithmetic progressions; resolving one progression needs
+    the per-MC and per-region {e counts} of a contiguous line range,
+    not each line's location. Every structured address map's location
+    pattern is periodic in the line index (bank interleave cycles with
+    the node count, MC selection with [num_mcs] pages), so {!create}
+    builds prefix sums over one such period — {e verified} against the
+    eager tables, never assumed: a hash-interleaved or remapped map
+    that breaks periodicity degrades to a whole-footprint table when
+    small enough, else to no prefix ({!prefix_available} false, and
+    callers enumerate lines through {!loc_of_line} instead). *)
+
+val prefix_available : t -> bool
+
+val add_mc_line_counts :
+  t -> lo:int -> hi:int -> weight:int -> int array -> unit
+(** [add_mc_line_counts t ~lo ~hi ~weight into] adds
+    [weight * (lines of line-index range [lo, hi) served by MC m)] into
+    [into.(m)], for every MC — O(num_mcs), independent of the range
+    length. Raises [Invalid_argument] when no prefix is available or
+    the range leaves the memoized footprint. *)
+
+val add_region_line_counts :
+  t -> lo:int -> hi:int -> weight:int -> int array -> unit
+(** Same, per home-bank region. *)

@@ -182,7 +182,22 @@ let map ?estimation ?fraction ?(measure_error = true) ?page_table ?cores
         (warm, 0., 0.)
   in
   vcheck "summarise"
-    [ (fun where -> Invariant.summaries ~where summaries) ];
+    [
+      (fun where -> Invariant.summaries ~where summaries);
+      (fun where ->
+        (* Each set executes (iterations x accesses-per-iteration); the
+           bulk-arithmetic CME tiers must conserve that count exactly. *)
+        let expected_accesses =
+          Array.map
+            (fun (s : Ir.Iter_set.t) ->
+              Ir.Iter_set.size s
+              * Ir.Trace.accesses_per_par_iter trace ~nest:s.nest)
+            sets
+        in
+        Invariant.summary_totals ~where
+          ~shared:(Cache.Llc.equal cfg.llc_org Cache.Llc.Shared)
+          ~expected_accesses summaries);
+    ];
   on_phase "summarise";
   let tables = Assign.create ?alpha_override cfg regions in
   let pre_balance_region = Assign.assign tables summaries in

@@ -29,6 +29,11 @@ let add_llc_hit t ~region =
   t.region_counts.(region) <- t.region_counts.(region) + 1;
   t.llc_hits <- t.llc_hits + 1
 
+let add_llc_hits t ~region n =
+  if n < 0 then invalid_arg "Summary.add_llc_hits: negative count";
+  t.region_counts.(region) <- t.region_counts.(region) + n;
+  t.llc_hits <- t.llc_hits + n
+
 let add_llc_miss t ~mc ~bank_region =
   t.mc_counts.(mc) <- t.mc_counts.(mc) + 1;
   if bank_region >= 0 then

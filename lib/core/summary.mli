@@ -38,6 +38,11 @@ val add_l1_hits : t -> int -> unit
 
 val add_llc_hit : t -> region:int -> unit
 
+val add_llc_hits : t -> region:int -> int -> unit
+(** Bulk variant of {!add_llc_hit}: the symbolic CME tier records a
+    whole progression's same-line hits with one call. Raises
+    [Invalid_argument] on a negative count. *)
+
 val add_llc_miss : t -> mc:int -> bank_region:int -> unit
 (** [bank_region] is the miss's home-bank region (shared LLC); pass
     [-1] for a private LLC, where the notion does not apply. *)

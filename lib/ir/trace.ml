@@ -366,3 +366,82 @@ let fill_range ?(step = 0) t ~nest ~lo ~hi ~buf =
 
 let decode_addr enc = enc lsr 1
 let decode_write enc = enc land 1 = 1
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-reference introspection: the symbolic CME tier rebuilds a
+   reference's address function addr(vars) = base + Σ coeffs·vars from
+   the compiled form instead of re-deriving it from the AST. *)
+
+type direct = {
+  dbase : int;
+  dcoeffs : int array;
+  dwrite : bool;
+}
+
+let direct_ref t ~nest ~body =
+  let cn = get_nest t nest in
+  if body < 0 || body >= Array.length cn.body then
+    invalid_arg "Trace.direct_ref: body reference out of range";
+  match cn.body.(body) with
+  | Cindirect _ -> None
+  | Cdirect { base; coeffs; write } ->
+      Some { dbase = base; dcoeffs = Array.copy coeffs; dwrite = write }
+
+let num_body_refs t ~nest = Array.length (get_nest t nest).body
+let par_loop t ~nest = (get_nest t nest).par
+let inner_loops t ~nest = Array.copy (get_nest t nest).inner
+
+(* ------------------------------------------------------------------ *)
+(* Preallocated replay scratch. [iter_range] allocates one loop-variable
+   vector per call; the observed replay calls it once per set per chunk
+   and its allocation-budget test wants the steady-state inner loop to
+   allocate nothing at all, so callers preallocate the vector once and
+   walk through it. *)
+
+type scratch = { mutable svals : int array }
+
+let make_scratch t =
+  let n =
+    Array.fold_left (fun acc cn -> max acc cn.nvars) 1 t.nests
+  in
+  { svals = Array.make n 0 }
+
+let scratch_vals sc cn =
+  if Array.length sc.svals < cn.nvars then
+    sc.svals <- Array.make cn.nvars 0;
+  sc.svals
+
+let iter_range_s ?(step = 0) t sc ~nest ~lo ~hi f =
+  let cn = get_nest t nest in
+  if lo < 0 || hi > cn.iterations || lo > hi then
+    invalid_arg "Trace.iter_range_s: bad range";
+  let vals = scratch_vals sc cn in
+  Array.fill vals 0 cn.nvars 0;
+  vals.(0) <- step;
+  (* The inner walk is open-coded here rather than delegated to
+     [iter_inner] so the recursive walker is built once per call, not
+     once per parallel iteration — the replay's allocation budget is
+     per {e set}, not per iteration. *)
+  let ninner = Array.length cn.inner in
+  let body = cn.body in
+  let nbody = Array.length body in
+  let rec go d =
+    if d = ninner then
+      for b = 0 to nbody - 1 do
+        let ca = Array.unsafe_get body b in
+        f ~addr:(addr_of cn vals ca) ~write:(is_write ca)
+      done
+    else begin
+      let l = cn.inner.(d) in
+      let v = ref l.lo in
+      while !v < l.hi do
+        vals.(d + 2) <- !v;
+        go (d + 1);
+        v := !v + l.step
+      done
+    end
+  in
+  for i = lo to hi - 1 do
+    vals.(1) <- cn.par.lo + (i * cn.par.step);
+    go 0
+  done

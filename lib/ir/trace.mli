@@ -127,3 +127,67 @@ val iter_body_line_blocks :
 val decode_addr : int -> int
 
 val decode_write : int -> bool
+
+(** {2 Compiled-reference introspection}
+
+    The symbolic CME tier ({!Cme.Symbolic}) derives whole-nest miss/hit
+    address progressions in closed form. It needs each affine
+    reference's compiled address function — the byte-level base and
+    per-variable byte coefficients {!create} lowered it to — rather
+    than the source AST, so the algebra matches the expanded stream
+    exactly (same layout bases, same element scaling). *)
+
+type direct = {
+  dbase : int;  (** array base + constant offset, bytes *)
+  dcoeffs : int array;
+      (** per loop variable, bytes: position 0 is the timing step
+          {!step_var}, 1 the parallel variable, then the inner loops
+          outermost first — the order {!iter_range} binds them in *)
+  dwrite : bool;
+}
+
+val direct_ref : t -> nest:int -> body:int -> direct option
+(** The compiled form of body reference [body] of [nest], or [None] for
+    an index-array (irregular) reference — those have no affine closed
+    form and stay on the trace-walking tiers. The coefficient array is
+    a fresh copy. Raises [Invalid_argument] on a bad body index. *)
+
+val num_body_refs : t -> nest:int -> int
+
+val par_loop : t -> nest:int -> Loop_nest.loop
+
+val inner_loops : t -> nest:int -> Loop_nest.loop array
+(** Inner loops of a nest, outermost first (fresh copy) — the trip
+    counts and steps the symbolic tier folds into its progressions. *)
+
+(** {2 Preallocated replay scratch}
+
+    {!iter_range} allocates one loop-variable vector per call. The
+    observed replay iterates set-by-set over the whole trace and its
+    inner loop must allocate {e zero} words per access (the
+    allocation-budget test gates this), so it preallocates the vector
+    once in a [scratch] and reuses it across every walk.
+
+    {b Thread safety}: a scratch is not thread-safe — it is private
+    mutable state of the single replay that made it; never share one
+    across domains. The trace itself stays immutable and freely
+    shareable. *)
+
+type scratch
+
+val make_scratch : t -> scratch
+(** A scratch sized for the largest nest of [t] (it grows if later used
+    with a bigger trace). *)
+
+val iter_range_s :
+  ?step:int ->
+  t ->
+  scratch ->
+  nest:int ->
+  lo:int ->
+  hi:int ->
+  (addr:int -> write:bool -> unit) ->
+  unit
+(** Exactly {!iter_range} — same order, same addresses — but walking
+    through the caller's [scratch] instead of allocating: the only
+    per-call cost beyond the walk is clearing the vector. *)
