@@ -3,7 +3,8 @@
 .PHONY: all check test bench bench-service bench-service-smoke \
         bench-resilience bench-resilience-smoke bench-verify \
         bench-analysis bench-analysis-smoke bench-obs bench-obs-smoke \
-        bench-loadgen bench-loadgen-smoke serve-smoke \
+        bench-loadgen bench-loadgen-smoke bench-sched sched-smoke \
+        serve-smoke \
         chaos chaos-net sweep lint fmt fmt-check verify clean
 
 all:
@@ -66,6 +67,20 @@ bench-loadgen:
 
 bench-loadgen-smoke:
 	dune exec bench/loadgen_bench.exe -- --smoke
+
+# Cluster-scheduler benchmark: fcfs vs EASY backfilling vs
+# locality-aware contiguous placement over the 21-workload registry at
+# a sweep of offered loads; writes BENCH_sched.json (modelled numbers
+# only, byte-stable across domain counts) and exits non-zero unless
+# the locality-aware policy beats both baselines on mean stretch or
+# deadline-miss rate somewhere while keeping utilization within 5% of
+# EASY. The smoke variant is the CI gate: 6 workloads, one load,
+# domains 1,2 — it also pins cross-domain schedule byte-determinism.
+bench-sched:
+	dune exec bench/sched_bench.exe
+
+sched-smoke:
+	dune exec bench/sched_bench.exe -- --smoke --out /dev/null
 
 # End-to-end serve smoke: start `locmap serve` on an ephemeral port,
 # drive a loadgen burst to completion, then SIGTERM the server in the

@@ -116,36 +116,18 @@ let universe () =
     [ Cache.Llc.Private; Cache.Llc.Shared ]
   |> Array.of_list
 
+(* Zipf request mix and Poisson arrivals, via the shared generator in
+   lib/sched — Sched.Arrivals consumes the RNG in exactly the order the
+   hand-rolled versions here used to, so fixed seeds reproduce the same
+   request streams as before the refactor. *)
 let zipf_mix rng universe n =
-  let u = Array.length universe in
-  let perm = Array.init u Fun.id in
-  for i = u - 1 downto 1 do
-    let j = Random.State.int rng (i + 1) in
-    let t = perm.(i) in
-    perm.(i) <- perm.(j);
-    perm.(j) <- t
-  done;
-  let weights =
-    Array.init u (fun k -> 1. /. Float.pow (float_of_int (k + 1)) !zipf_s)
-  in
-  let total = Array.fold_left ( +. ) 0. weights in
-  let sample () =
-    let x = Random.State.float rng total in
-    let rec find k acc =
-      let acc = acc +. weights.(k) in
-      if x <= acc || k = u - 1 then perm.(k) else find (k + 1) acc
-    in
-    find 0 0.
-  in
-  Array.init n (fun _ -> universe.(sample ()))
+  let z = Sched.Arrivals.zipf rng ~s:!zipf_s ~n:(Array.length universe) in
+  Array.init n (fun _ -> universe.(Sched.Arrivals.zipf_sample z rng))
 
 (* Poisson arrivals: absolute offsets (seconds) with Exp(rate)
    inter-arrival gaps. *)
 let arrival_times rng n =
-  let t = ref 0. in
-  Array.init n (fun _ ->
-      t := !t +. (-.log (1. -. Random.State.float rng 1.) /. !rate);
-      !t)
+  Sched.Arrivals.poisson_times rng ~rate:!rate ~n
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection client: send at the scheduled instants, match

@@ -1146,6 +1146,205 @@ let sweep_cmd =
       $ scale_arg $ domains_arg $ cache_size_arg $ deadline_arg
       $ max_retries_arg $ degrade_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Cluster-level scheduling: replay or synthesise a job trace against
+   the fcfs / easy / local placement policies on the simulated mesh
+   (lib/sched).                                                        *)
+
+let sched_cmd =
+  let policy_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"Placement policy: $(b,fcfs), $(b,easy), $(b,local) or \
+                $(b,all).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "jobs" ] ~docv:"N" ~doc:"Synthetic trace length.")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt float 0.9
+      & info [ "load" ] ~docv:"L"
+          ~doc:
+            "Offered load: fraction of the machine's core capacity the \
+             synthetic trace asks for.")
+  in
+  let zipf_arg =
+    Arg.(
+      value
+      & opt float 1.1
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf skew of the synthetic workload mix.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 0xC0DE
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Trace seed; a fixed seed fixes the whole run byte-for-byte \
+             whatever $(b,-d) says.")
+  in
+  let beta_arg =
+    Arg.(
+      value
+      & opt float 0.8
+      & info [ "beta" ] ~docv:"B"
+          ~doc:"Locality dilation strength of the placement cost oracle.")
+  in
+  let sched_scale_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "scale" ] ~docv:"S"
+          ~doc:"Benchmark input-size scale for the oracle's analysis.")
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workloads" ] ~docv:"W1,W2"
+          ~doc:"Workload mix (comma-separated; default: all 21).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay this job trace file (`arrival workload demand \
+             [priority] [deadline|-]' lines) instead of synthesising one.")
+  in
+  let emit_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the job trace that was run ($(b,-) for standard \
+             output) — replay it later with $(b,--trace).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:
+            "Write the full per-job schedule of every policy run ($(b,-) \
+             for standard output); byte-identical across $(b,-d) values \
+             for a fixed seed — the determinism suites compare these \
+             files.")
+  in
+  let run policy_s jobs load zipf seed beta llc scale workloads trace
+      emit_trace dump domains metrics_out metrics_format =
+    let policies =
+      if policy_s = "all" then Sched.Policy.all
+      else
+        match Sched.Policy.of_string policy_s with
+        | Ok p -> [ p ]
+        | Error e ->
+            prerr_endline e;
+            exit 2
+    in
+    let split s = String.split_on_char ',' s |> List.filter (( <> ) "") in
+    (* The oracle prices placements for every workload the run can
+       mention: the requested mix, or every name a replayed trace
+       uses. *)
+    let trace_specs =
+      match trace with
+      | None -> None
+      | Some file -> (
+          let ic = open_in file in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          match Sched.Job.of_lines (List.rev !lines) with
+          | Ok specs -> Some specs
+          | Error e ->
+              Printf.eprintf "%s: %s\n" file e;
+              exit 2)
+    in
+    let names =
+      match (trace_specs, workloads) with
+      | Some specs, _ ->
+          let seen = Hashtbl.create 8 in
+          Array.fold_left
+            (fun acc (s : Sched.Job.spec) ->
+              if Hashtbl.mem seen s.Sched.Job.name then acc
+              else begin
+                Hashtbl.replace seen s.Sched.Job.name ();
+                s.Sched.Job.name :: acc
+              end)
+            [] specs
+          |> List.rev
+      | None, Some w -> split w
+      | None, None -> Workloads.Registry.names
+    in
+    List.iter
+      (fun n ->
+        if Workloads.Registry.find_opt n = None then begin
+          Printf.eprintf "unknown workload %S; try `locmap list'\n" n;
+          exit 2
+        end)
+      names;
+    let cfg = cfg_of llc in
+    let pool = Par.Pool.create ~num_domains:domains () in
+    let oracle = Sched.Oracle.build ~pool ~beta ~scale cfg names in
+    Par.Pool.shutdown pool;
+    let specs =
+      match trace_specs with
+      | Some specs -> specs
+      | None ->
+          Sched.Synth.jobs ~zipf_s:zipf ~oracle ~seed ~load ~n:jobs ()
+    in
+    (match emit_trace with
+    | None -> ()
+    | Some file -> write_out file (Sched.Synth.to_trace specs));
+    let metrics =
+      match metrics_out with
+      | None -> None
+      | Some _ -> Some (Obs.Metrics.create ())
+    in
+    let dumps =
+      List.map
+        (fun policy ->
+          let r = Sched.Sim.run ?metrics ~oracle ~policy specs in
+          Format.printf "%a@." Sched.Sim.pp_totals r.Sched.Sim.totals;
+          Sched.Sim.render r)
+        policies
+    in
+    (match dump with
+    | None -> ()
+    | Some file -> write_out file (String.concat "" dumps));
+    match (metrics_out, metrics) with
+    | Some file, Some m ->
+        let samples = Obs.Metrics.snapshot m in
+        write_out file
+          (match metrics_format with
+          | `Json -> Obs.Metrics.to_json samples ^ "\n"
+          | `Prometheus -> Obs.Metrics.to_prometheus samples)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Schedule a cluster-level job trace onto the mesh and compare \
+          placement policies.")
+    Term.(
+      const run $ policy_arg $ jobs_arg $ load_arg $ zipf_arg $ seed_arg
+      $ beta_arg $ llc_arg $ sched_scale_arg $ workloads_arg $ trace_arg
+      $ emit_trace_arg $ dump_arg $ domains_arg $ metrics_out_arg
+      $ metrics_format_arg)
+
 let () =
   let doc = "location-aware computation-to-core mapping (PLDI'18 reproduction)" in
   let default =
@@ -1157,4 +1356,4 @@ let () =
           (Cmd.info "locmap" ~version:"1.0.0" ~doc)
           [ list_cmd; config_cmd; info_cmd; map_cmd; simulate_cmd;
             experiments_cmd; check_cmd; batch_cmd; serve_cmd; sweep_cmd;
-            stats_cmd ]))
+            stats_cmd; sched_cmd ]))

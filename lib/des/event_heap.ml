@@ -1,0 +1,65 @@
+type t = {
+  mutable times : int array;
+  mutable ids : int array;
+  mutable len : int;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { times = Array.make capacity 0; ids = Array.make capacity 0; len = 0 }
+
+let grow t =
+  let cap = Array.length t.times * 2 in
+  let times = Array.make cap 0 and ids = Array.make cap 0 in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.ids 0 ids 0 t.len;
+  t.times <- times;
+  t.ids <- ids
+
+let swap t i j =
+  let tt = t.times.(i) and ti = t.ids.(i) in
+  t.times.(i) <- t.times.(j);
+  t.ids.(i) <- t.ids.(j);
+  t.times.(j) <- tt;
+  t.ids.(j) <- ti
+
+let push t ~time ~id =
+  if time < 0 then invalid_arg "Event_heap.push: negative time";
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- time;
+  t.ids.(t.len) <- id;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  while !i > 0 && t.times.((!i - 1) / 2) > t.times.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let time = t.times.(0) and id = t.ids.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.times.(0) <- t.times.(t.len);
+      t.ids.(0) <- t.ids.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && t.times.(l) < t.times.(!smallest) then smallest := l;
+        if r < t.len && t.times.(r) < t.times.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (time, id)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.times.(0)
+let size t = t.len
+let is_empty t = t.len = 0

@@ -1,25 +1,10 @@
-(** Binary min-heap of (time, id) events — the engine's ready queue.
-
-    Specialised to unboxed ints for speed: the engine pushes one event
-    per shared-resource transaction. Ties are popped in unspecified
-    order (the simulator treats equal-time events as concurrent).
+(** The engine's ready queue — a re-export of {!Des.Event_heap}, the
+    (time, id) min-heap shared with the cluster scheduler ([lib/sched]).
+    Kept under its historical [Machine.Event_heap] name so engine code
+    and its callers are untouched; see {!Des.Event_heap} for the
+    ordering and determinism guarantees (and their direct tests).
 
     {b Thread safety}: not thread-safe. The heap is private to the
     engine run that allocated it and is mutated without locks. *)
 
-type t
-
-val create : capacity:int -> t
-(** Initial capacity hint; the heap grows as needed. *)
-
-val push : t -> time:int -> id:int -> unit
-(** Raises [Invalid_argument] on a negative time. *)
-
-val pop : t -> (int * int) option
-(** Smallest-time event as [(time, id)], or [None] when empty. *)
-
-val peek_time : t -> int option
-
-val size : t -> int
-
-val is_empty : t -> bool
+include module type of Des.Event_heap with type t = Des.Event_heap.t

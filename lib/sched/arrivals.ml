@@ -1,0 +1,40 @@
+let shuffle rng n =
+  if n < 0 then invalid_arg "Arrivals.shuffle: negative n";
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+type zipf = { perm : int array; weights : float array; total : float }
+
+let zipf rng ~s ~n =
+  if n <= 0 then invalid_arg "Arrivals.zipf: non-positive n";
+  let perm = shuffle rng n in
+  let weights =
+    Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) s)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  { perm; weights; total }
+
+let zipf_sample z rng =
+  let n = Array.length z.perm in
+  let x = Random.State.float rng z.total in
+  let rec find k acc =
+    let acc = acc +. z.weights.(k) in
+    if x <= acc || k = n - 1 then z.perm.(k) else find (k + 1) acc
+  in
+  find 0 0.
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Arrivals.exponential: non-positive rate";
+  -.log (1. -. Random.State.float rng 1.) /. rate
+
+let poisson_times rng ~rate ~n =
+  let t = ref 0. in
+  Array.init n (fun _ ->
+      t := !t +. exponential rng ~rate;
+      !t)

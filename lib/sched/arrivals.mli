@@ -1,0 +1,45 @@
+(** Seedable arrival-process and workload-mix distributions.
+
+    One implementation of the load shapes every traffic generator in
+    the repo uses: open-loop Poisson arrivals (exponential
+    inter-arrival gaps) and a Zipf-skewed choice over a universe whose
+    popularity ranks are decoupled from index order by a seeded
+    permutation. [bench/loadgen_bench.exe] draws its wire-request
+    schedule from here and [Sched.Synth] draws its job traces — the
+    two benches used to hand-roll the same distributions separately.
+
+    Every sampler consumes randomness from a caller-supplied
+    [Random.State.t] in a documented order, so a fixed seed fixes the
+    whole sample sequence (the byte-determinism guarantees of the
+    scheduler bench and the chaos suites rely on this).
+
+    {b Thread safety}: the module holds no state of its own; samplers
+    mutate only the caller's [Random.State.t] (and {!zipf} values are
+    immutable after construction). An RNG state must not be shared
+    across domains without external synchronisation. *)
+
+val shuffle : Random.State.t -> int -> int array
+(** [shuffle rng n] is a Fisher–Yates permutation of [0 .. n-1],
+    consuming exactly [n - 1] draws ([Random.State.int] with bounds
+    [n, n-1, ..., 2]). Raises [Invalid_argument] on [n < 0]. *)
+
+type zipf
+(** A Zipf(s) sampler over [0 .. n-1]: rank [k] (0-based, after a
+    seeded permutation of ranks to indices) has weight
+    [1 / (k + 1)^s]. *)
+
+val zipf : Random.State.t -> s:float -> n:int -> zipf
+(** Builds the sampler, consuming the {!shuffle} draws for the rank
+    permutation. Raises [Invalid_argument] on [n <= 0]. *)
+
+val zipf_sample : zipf -> Random.State.t -> int
+(** One index, consuming one [Random.State.float] draw. *)
+
+val exponential : Random.State.t -> rate:float -> float
+(** One Exp(rate) variate ([-ln(1 - u) / rate]), consuming one draw.
+    Raises [Invalid_argument] on a non-positive rate. *)
+
+val poisson_times : Random.State.t -> rate:float -> n:int -> float array
+(** [n] absolute arrival instants of a Poisson process with intensity
+    [rate]: a running sum of {!exponential} gaps, consuming [n] draws.
+    The result is strictly increasing (gaps are positive). *)

@@ -1,0 +1,93 @@
+type spec = {
+  id : int;
+  name : string;
+  arrival : int;
+  demand : int;
+  priority : int;
+  deadline : int option;
+}
+
+type outcome = Completed | Missed | Killed
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Missed -> "missed"
+  | Killed -> "killed"
+
+let compare_queue a b =
+  if a.priority <> b.priority then compare b.priority a.priority
+  else if a.arrival <> b.arrival then compare a.arrival b.arrival
+  else compare a.id b.id
+
+let validate ~num_cores:_ s =
+  if s.demand <= 0 then Error "demand must be positive"
+  else if s.arrival < 0 then Error "arrival must be non-negative"
+  else if s.priority < 0 then Error "priority must be non-negative"
+  else
+    match s.deadline with
+    | Some d when d <= s.arrival -> Error "deadline must be after arrival"
+    | _ -> Ok ()
+
+let of_line ~id line =
+  let s = String.trim line in
+  if s = "" || s.[0] = '#' then Ok None
+  else
+    let fields =
+      String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) s)
+      |> List.filter (fun f -> f <> "")
+    in
+    let int_field what v =
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "%s: not an integer (%S)" what v)
+    in
+    let ( let* ) = Result.bind in
+    match fields with
+    | arrival :: name :: demand :: rest ->
+        let* arrival = int_field "arrival" arrival in
+        let* demand = int_field "demand" demand in
+        let* priority, deadline =
+          match rest with
+          | [] -> Ok (0, None)
+          | [ p ] ->
+              let* p = int_field "priority" p in
+              Ok (p, None)
+          | [ p; d ] ->
+              let* p = int_field "priority" p in
+              if d = "-" then Ok (p, None)
+              else
+                let* d = int_field "deadline" d in
+                Ok (p, Some d)
+          | _ -> Error "too many fields (want: arrival workload demand \
+                        [priority] [deadline|-])"
+        in
+        let spec = { id; name; arrival; demand; priority; deadline } in
+        let* () = validate ~num_cores:max_int spec in
+        Ok (Some spec)
+    | _ ->
+        Error "too few fields (want: arrival workload demand [priority] \
+               [deadline|-])"
+
+let to_line s =
+  Printf.sprintf "%d %s %d %d %s" s.arrival s.name s.demand s.priority
+    (match s.deadline with None -> "-" | Some d -> string_of_int d)
+
+let of_lines lines =
+  let rec go ln id acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: tl -> (
+        match of_line ~id line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" ln e)
+        | Ok None -> go (ln + 1) id acc tl
+        | Ok (Some s) -> go (ln + 1) (id + 1) (s :: acc) tl)
+  in
+  match go 1 0 [] lines with
+  | Error _ as e -> e
+  | Ok specs ->
+      let a = Array.of_list specs in
+      Array.sort
+        (fun x y ->
+          if x.arrival <> y.arrival then compare x.arrival y.arrival
+          else compare x.id y.id)
+        a;
+      Ok a

@@ -1,0 +1,66 @@
+(** The cluster scheduler's job model.
+
+    A job is one mapping request elevated to cluster granularity: it
+    names a registry workload, arrives at a tick, demands a number of
+    cores, and optionally carries a priority class and an absolute
+    deadline. The scheduler admits jobs onto regions of the simulated
+    mesh; the workload name is what the {!Oracle} uses to price a
+    candidate placement.
+
+    Jobs also have a one-line text form (the {e trace file} format of
+    [locmap sched --trace]):
+
+    {v
+    # arrival  workload  demand  [priority]  [deadline|-]
+    0    mxm      8   0   52000
+    120  jacobi3d 4
+    v}
+
+    Whitespace-separated fields; [#] starts a comment line; a missing
+    priority is 0 and a missing (or [-]) deadline means none.
+
+    {b Thread safety}: specs are immutable; parsing and printing
+    allocate fresh values, so everything here may be used concurrently
+    from any domain. *)
+
+type spec = {
+  id : int;  (** dense index, also the event tie-break *)
+  name : string;  (** registry workload this job maps *)
+  arrival : int;  (** submission tick (>= 0) *)
+  demand : int;  (** cores requested (> 0) *)
+  priority : int;  (** larger = more urgent; 0 = normal *)
+  deadline : int option;  (** absolute tick the answer is due by *)
+}
+
+type outcome =
+  | Completed  (** finished by its deadline (or had none) *)
+  | Missed  (** finished, but past its deadline *)
+  | Killed
+      (** never ran: the demand exceeds the machine, rejected at
+          arrival *)
+
+val outcome_name : outcome -> string
+
+val compare_queue : spec -> spec -> int
+(** Wait-queue order: higher priority first, then earlier arrival,
+    then lower id — the total order every policy serves jobs in. *)
+
+val validate : num_cores:int -> spec -> (unit, string) result
+(** Structural checks independent of the machine's current state:
+    positive demand, non-negative arrival/priority, deadline after
+    arrival. A demand beyond [num_cores] is {e not} an error here —
+    the scheduler kills such a job at arrival (so a trace file can
+    deliberately exercise the [Killed] path). *)
+
+val of_line : id:int -> string -> (spec option, string) result
+(** Parses one trace-file line; [Ok None] for a blank or comment
+    line. *)
+
+val to_line : spec -> string
+(** The canonical one-line form ({!of_line} round-trips it). *)
+
+val of_lines : string list -> (spec array, string) result
+(** Parses a whole trace file (ids assigned in line order), sorting
+    the result by {!compare_queue}-independent arrival order: jobs are
+    returned sorted by [(arrival, id)]. The first malformed line fails
+    the parse with a message naming its 1-based line number. *)

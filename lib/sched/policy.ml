@@ -1,0 +1,99 @@
+type t = Fcfs | Easy | Local
+
+let all = [ Fcfs; Easy; Local ]
+
+let name = function Fcfs -> "fcfs" | Easy -> "easy" | Local -> "local"
+
+let of_string = function
+  | "fcfs" -> Ok Fcfs
+  | "easy" -> Ok Easy
+  | "local" | "locality" -> Ok Local
+  | s -> Error (Printf.sprintf "unknown policy %S (want fcfs, easy or local)" s)
+
+let backfills = function Fcfs -> false | Easy | Local -> true
+
+type ctx = {
+  regions : Locmap.Region.t;
+  region_of_core : int array;
+  free : bool array;
+  free_count : int;
+  score : int array -> float;
+}
+
+(* Location-oblivious fit: the lowest-numbered free cores. *)
+let first_fit ctx ~demand =
+  let cores = Array.make demand 0 in
+  let k = ref 0 in
+  let i = ref 0 in
+  while !k < demand do
+    if ctx.free.(!i) then begin
+      cores.(!k) <- !i;
+      incr k
+    end;
+    incr i
+  done;
+  cores
+
+(* Free cores inside a rectangular block of the region grid, lowest
+   core ids first, capped at [demand]. *)
+let block_cores ctx ~demand ~r0 ~c0 ~h ~w =
+  let gc = Locmap.Region.grid_cols ctx.regions in
+  let in_block r =
+    let gr = r / gc and gcol = r mod gc in
+    gr >= r0 && gr < r0 + h && gcol >= c0 && gcol < c0 + w
+  in
+  let cores = Array.make demand 0 in
+  let k = ref 0 in
+  let i = ref 0 in
+  let n = Array.length ctx.free in
+  while !k < demand && !i < n do
+    if ctx.free.(!i) && in_block ctx.region_of_core.(!i) then begin
+      cores.(!k) <- !i;
+      incr k
+    end;
+    incr i
+  done;
+  if !k = demand then Some cores else None
+
+(* Contiguous-region placement: enumerate every rectangular block of
+   the region grid (smallest area first) that can supply the demand
+   from its free cores, and keep the one the oracle prices lowest —
+   ties broken by smaller area (tighter packing leaves larger holes
+   for later jobs), then by position. *)
+let local_fit ctx ~demand =
+  let gr = Locmap.Region.grid_rows ctx.regions in
+  let gc = Locmap.Region.grid_cols ctx.regions in
+  let best = ref None in
+  for h = 1 to gr do
+    for w = 1 to gc do
+      for r0 = 0 to gr - h do
+        for c0 = 0 to gc - w do
+          match block_cores ctx ~demand ~r0 ~c0 ~h ~w with
+          | None -> ()
+          | Some cores ->
+              let s = ctx.score cores in
+              let area = h * w in
+              let better =
+                match !best with
+                | None -> true
+                | Some (s', area', _) ->
+                    s < s' -. 1e-12
+                    || (Float.abs (s -. s') <= 1e-12 && area < area')
+              in
+              if better then best := Some (s, area, cores)
+        done
+      done
+    done
+  done;
+  match !best with
+  | Some (_, _, cores) -> cores
+  | None -> first_fit ctx ~demand
+
+let select policy ctx ~demand =
+  if demand <= 0 then invalid_arg "Policy.select: non-positive demand";
+  if demand > ctx.free_count then None
+  else
+    Some
+      (match policy with
+      | Fcfs | Easy -> first_fit ctx ~demand
+      | Local -> local_fit ctx ~demand)

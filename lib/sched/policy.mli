@@ -1,0 +1,57 @@
+(** The three pluggable placement policies.
+
+    All three serve the wait queue in {!Job.compare_queue} order and
+    differ in two dimensions:
+
+    - {e when} a job may start: {!Fcfs} starts jobs strictly in queue
+      order (a blocked head blocks everyone); {!Easy} and {!Local} use
+      EASY backfilling — the blocked head gets a reservation computed
+      from upper-bound runtime estimates, and later jobs may start out
+      of order only if they provably cannot delay it;
+    - {e where} a job runs: {!Fcfs} and {!Easy} are
+      location-oblivious (lowest-numbered free cores); {!Local} places
+      each job on a contiguous block of mesh regions, choosing among
+      candidate blocks by the {!Oracle}'s affinity cost, and falls
+      back to the oblivious fit when fragmentation leaves no block
+      with enough free cores — so it is never {e less} able to start a
+      job than {!Easy}.
+
+    {!select} is the placement half: given the free map and a cost
+    function it returns the cores a job would get, or [None] when not
+    enough cores are free. The timing half (reservations, backfill
+    legality) lives in {!Sim}.
+
+    {b Thread safety}: policies are pure values; {!select} only reads
+    the context it is given (the caller owns the free map) and
+    allocates its result, so concurrent calls on separate contexts are
+    safe. *)
+
+type t = Fcfs | Easy | Local
+
+val all : t list
+(** In comparison order: [Fcfs; Easy; Local]. *)
+
+val name : t -> string
+(** ["fcfs"], ["easy"], ["local"]. *)
+
+val of_string : string -> (t, string) result
+
+val backfills : t -> bool
+(** Whether the policy runs EASY backfilling ({!Easy} and {!Local}). *)
+
+type ctx = {
+  regions : Locmap.Region.t;
+  region_of_core : int array;
+  free : bool array;  (** per core; read-only to {!select} *)
+  free_count : int;
+  score : int array -> float;
+      (** oracle cost of a candidate core set for the job being
+          placed (see {!Oracle.cost}) *)
+}
+
+val select : t -> ctx -> demand:int -> int array option
+(** The cores the policy gives a [demand]-core job right now, sorted
+    ascending, or [None] iff [demand > free_count] (every policy can
+    place any job that numerically fits — {!Local}'s contiguous
+    search degrades to the oblivious fit rather than failing). Raises
+    [Invalid_argument] on a non-positive demand. *)

@@ -1,0 +1,59 @@
+let default_demands = [| 1; 2; 4; 4; 6; 8; 8; 12; 16; 24 |]
+
+let jobs ?(zipf_s = 1.1) ?(demands = default_demands) ?(slack = (2.0, 6.0))
+    ?(deadline_fraction = 1.0) ?(priority_levels = 1) ~oracle ~seed ~load ~n
+    () =
+  if load <= 0. then invalid_arg "Synth.jobs: non-positive load";
+  if n <= 0 then invalid_arg "Synth.jobs: non-positive n";
+  if Array.length demands = 0 then invalid_arg "Synth.jobs: empty demands";
+  let slack_lo, slack_hi = slack in
+  if slack_lo <= 0. || slack_lo > slack_hi then
+    invalid_arg "Synth.jobs: invalid slack range";
+  if priority_levels < 1 then
+    invalid_arg "Synth.jobs: priority_levels must be at least 1";
+  let rng = Random.State.make [| seed |] in
+  let names = Array.of_list (Oracle.names oracle) in
+  let num_cores = Oracle.num_cores oracle in
+  (* 1. Workload mix (Zipf over the oracle's workloads). *)
+  let z = Arrivals.zipf rng ~s:zipf_s ~n:(Array.length names) in
+  let mix = Array.init n (fun _ -> names.(Arrivals.zipf_sample z rng)) in
+  (* 2. Arrival instants: offered load -> rate via the realised mix's
+     mean serial work (core-ticks per job ~ serial work). *)
+  let mean_work =
+    Array.fold_left
+      (fun acc name -> acc +. float_of_int (Oracle.entry oracle name).Oracle.work)
+      0. mix
+    /. float_of_int n
+  in
+  let rate = load *. float_of_int num_cores /. mean_work in
+  let times = Arrivals.poisson_times rng ~rate ~n in
+  (* 3. Per-job demand, priority and deadline draws, in job order. *)
+  Array.init n (fun k ->
+      let name = mix.(k) in
+      let arrival = int_of_float (Float.round times.(k)) in
+      let demand =
+        min num_cores demands.(Random.State.int rng (Array.length demands))
+      in
+      let priority =
+        if priority_levels = 1 then 0 else Random.State.int rng priority_levels
+      in
+      let deadline =
+        let u = Random.State.float rng 1. in
+        if u <= deadline_fraction then begin
+          let s = slack_lo +. Random.State.float rng (slack_hi -. slack_lo) in
+          let est = Oracle.estimate oracle name ~demand in
+          Some (arrival + max 1 (int_of_float (Float.ceil (s *. float_of_int est))))
+        end
+        else None
+      in
+      { Job.id = k; name; arrival; demand; priority; deadline })
+
+let to_trace specs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# arrival workload demand priority deadline\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string b (Job.to_line s);
+      Buffer.add_char b '\n')
+    specs;
+  Buffer.contents b
